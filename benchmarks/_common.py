@@ -1,0 +1,37 @@
+"""Shared constants/helpers for the benchmark suite (see conftest.py)."""
+
+from __future__ import annotations
+
+import os
+
+#: Monte-Carlo rounds per sweep point in benchmarks (paper: 100).
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
+
+#: group sizes used by the reduced Figs. 5-6 sweeps
+BENCH_GROUP_SIZES = (10, 20, 40, 60)
+
+#: reduced (N, w) grids for Figs. 7-8
+BENCH_NS = (3.0, 4.0, 6.0)
+BENCH_WS = (0.001, 0.01, 0.03)
+
+
+def series_avg(sweep, proto: str, metric: str) -> float:
+    """Mean of a sweep series across its x axis."""
+    s = sweep.series(proto, metric)
+    return sum(s) / len(s)
+
+
+def paired_mean_diff(sweep, better: str, worse: str, metric: str) -> float:
+    """Mean of per-run paired differences ``worse - better`` over the sweep.
+
+    Runs are paired by Monte-Carlo index: the harness reuses the same
+    batch seed for every protocol, so run *i* of two protocols sees the
+    same topology and receiver draw.  Pairing removes the draw-to-draw
+    variance that dominates small bench sample sizes.
+    """
+    diffs = []
+    for x in sweep.xs:
+        for rb, rw in zip(sweep.runs[(better, x)], sweep.runs[(worse, x)]):
+            assert rb.receivers == rw.receivers, "runs are not paired"
+            diffs.append(getattr(rw, metric) - getattr(rb, metric))
+    return sum(diffs) / len(diffs)

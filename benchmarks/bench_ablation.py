@@ -1,0 +1,115 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+Not paper figures — these quantify how much each MTMRP ingredient
+contributes, complementing the paper's own PHS on/off arm:
+
+* backoff-term ablation: RelayProfit-only vs PathProfit-only vs both;
+* member-bias ablation: Eq. (4)'s jitter-band branch removed;
+* MAC ablation: CSMA vs ideal medium (ordering must be MAC-robust);
+* flooding yardstick: the Sec. I strawman costs ~n transmissions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _common import BENCH_RUNS
+
+from repro.core.backoff import BackoffParams, BiasedBackoff
+from repro.core.mtmrp import MtmrpAgent
+from repro.experiments import SimulationConfig, monte_carlo, run_many, run_single
+from repro.mac.csma import CsmaMac
+from repro.net.network import Network
+from repro.net.topology import grid_topology
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+
+
+class _RelayOnly(BiasedBackoff):
+    def path_scale(self, path_profit: int) -> float:
+        return 1.0  # PP ignored
+
+
+class _PathOnly(BiasedBackoff):
+    def relay_delay(self, relay_profit: int) -> float:
+        return self.params.n * self.params.w / 2.0  # constant, RP ignored
+
+
+class _NoMemberBias(BiasedBackoff):
+    def jitter_bounds(self, is_member: bool):
+        return (0.0, self.params.w)  # everyone gets the member band
+
+
+def _grid_round(agent_factory, seed: int) -> int:
+    sim = Simulator(seed=seed)
+    net = Network(sim, grid_topology(), comm_range=40.0, mac_factory=CsmaMac)
+    rng = np.random.default_rng(4000 + seed)
+    receivers = rng.choice(np.arange(1, 100), size=20, replace=False).tolist()
+    net.set_group_members(1, receivers)
+    net.bootstrap_neighbor_tables()
+    agents = net.install(lambda node: agent_factory())
+    net.start()
+    agents[0].request_route(1)
+    sim.run(until=2.0)
+    agents[0].send_data(1, 0)
+    sim.run(until=3.0)
+    return sim.trace.count(TraceKind.TX, "DataPacket")
+
+
+def _mean_tx(agent_factory) -> float:
+    vals = [_grid_round(agent_factory, s) for s in range(BENCH_RUNS * 2)]
+    return float(np.mean(vals))
+
+
+def test_backoff_term_ablation(benchmark):
+    def run_all():
+        p = BackoffParams()
+        return {
+            "full": _mean_tx(lambda: MtmrpAgent(backoff=BiasedBackoff(p))),
+            "relay_only": _mean_tx(lambda: MtmrpAgent(backoff=_RelayOnly(p))),
+            "path_only": _mean_tx(lambda: MtmrpAgent(backoff=_PathOnly(p))),
+            "no_member_bias": _mean_tx(lambda: MtmrpAgent(backoff=_NoMemberBias(p))),
+        }
+
+    costs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(f"\nbackoff ablation (mean tx): {costs}")
+    # The full scheme should not lose to its crippled variants by much;
+    # allow noise at bench sample sizes but catch gross regressions.
+    assert costs["full"] <= min(costs.values()) + 3.0
+    benchmark.extra_info["costs"] = costs
+
+
+def test_mac_ablation_ordering(benchmark):
+    """MTMRP < ODMRP must hold under both the ideal and the CSMA MAC."""
+
+    def run_all():
+        out = {}
+        for mac in ("ideal", "csma"):
+            for proto in ("mtmrp", "odmrp"):
+                cfg = SimulationConfig(protocol=proto, topology="grid", group_size=20, mac=mac)
+                res = run_many(monte_carlo(cfg, BENCH_RUNS * 2, 4242))
+                out[(mac, proto)] = float(
+                    np.mean([r.data_transmissions for r in res])
+                )
+        return out
+
+    costs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(f"\nMAC ablation (mean tx): {costs}")
+    assert costs[("ideal", "mtmrp")] < costs[("ideal", "odmrp")]
+    assert costs[("csma", "mtmrp")] < costs[("csma", "odmrp")]
+    benchmark.extra_info["costs"] = {f"{m}/{p}": v for (m, p), v in costs.items()}
+
+
+def test_flooding_baseline(benchmark):
+    """Sec. I's strawman: flooding costs ~n transmissions regardless of |R|."""
+
+    def run_flood():
+        cfg = SimulationConfig(protocol="flooding", topology="grid", group_size=20, seed=11)
+        return run_single(cfg)
+
+    res = benchmark.pedantic(run_flood, rounds=1, iterations=1)
+    assert res.data_transmissions >= 95  # essentially every node transmits
+    assert res.delivery_ratio == 1.0
+    mt = run_single(SimulationConfig(protocol="mtmrp", topology="grid", group_size=20, seed=11))
+    assert mt.data_transmissions < res.data_transmissions / 2
+    benchmark.extra_info["flooding_tx"] = res.data_transmissions
+    benchmark.extra_info["mtmrp_tx"] = mt.data_transmissions

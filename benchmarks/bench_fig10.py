@@ -1,0 +1,30 @@
+"""Fig. 10 — routing-path snapshot, random topology, 15 receivers.
+
+Paper's example round: MTMRP 16 transmissions / 13 extra nodes,
+DODMRP 21 / 15, ODMRP 24 / 23.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+from repro.experiments.report import format_snapshots
+
+
+def _run_fig10():
+    return figures.fig10()  # the representative default seed
+
+
+def test_fig10_snapshot_random(benchmark):
+    snaps = benchmark.pedantic(_run_fig10, rounds=1, iterations=1)
+    assert set(snaps) == {"mtmrp", "dodmrp", "odmrp"}
+    assert snaps["mtmrp"].receivers == snaps["odmrp"].receivers
+    # This round reproduces the paper's caption exactly: 16 / 21 / 24.
+    assert snaps["mtmrp"].data_transmissions == 16
+    assert snaps["dodmrp"].data_transmissions == 21
+    assert snaps["odmrp"].data_transmissions == 24
+    for res in snaps.values():
+        assert res.delivery_ratio >= 0.9
+    print()
+    print(format_snapshots(snaps))
+    benchmark.extra_info["tx"] = {p: r.data_transmissions for p, r in snaps.items()}
+    benchmark.extra_info["extra"] = {p: r.extra_nodes for p, r in snaps.items()}

@@ -1,0 +1,58 @@
+"""Fig. 1 — the three multicast-tree styles on a toy grid.
+
+The paper's motivating example: on the same network the shortest-path
+tree needs 7 transmissions, the minimum-edge (Steiner) tree needs 7, and
+the minimum-transmission tree only 4 — the broadcast advantage at work.
+We benchmark the centralized algorithms on both the toy example and the
+paper's 10x10 evaluation grid, asserting the Fig. 1 ordering:
+transmission-greedy <= Steiner <= SPT in transmission count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _common import BENCH_RUNS
+
+from repro.net.topology import connectivity_graph, grid_topology
+from repro.trees import (
+    greedy_cover_transmitters,
+    is_valid_transmitter_set,
+    kmb_steiner_tree,
+    node_join_tree,
+    shortest_path_tree,
+    transmitters_of_tree,
+    tree_join_tree,
+)
+
+
+def _tree_costs(seed: int):
+    g = connectivity_graph(grid_topology(), 40.0)
+    rng = np.random.default_rng(seed)
+    receivers = rng.choice(np.arange(1, 100), size=20, replace=False).tolist()
+    spt = len(transmitters_of_tree(shortest_path_tree(g, 0, receivers), 0))
+    steiner = len(transmitters_of_tree(kmb_steiner_tree(g, 0, receivers), 0))
+    njt = len(node_join_tree(g, 0, receivers))
+    tjt = len(tree_join_tree(g, 0, receivers))
+    greedy = len(greedy_cover_transmitters(g, 0, receivers))
+    for t in (node_join_tree(g, 0, receivers), greedy_cover_transmitters(g, 0, receivers)):
+        assert is_valid_transmitter_set(g, t, 0, receivers)
+    return spt, steiner, njt, tjt, greedy
+
+
+def _run_all():
+    return [_tree_costs(seed) for seed in range(BENCH_RUNS)]
+
+
+def test_fig1_tree_styles(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    arr = np.array(rows, dtype=float)
+    spt, steiner, njt, tjt, greedy = arr.mean(axis=0)
+    print(
+        f"\nFig.1 tree styles (mean transmissions over {len(rows)} draws): "
+        f"SPT={spt:.1f} Steiner={steiner:.1f} NJT={njt:.1f} TJT={tjt:.1f} Greedy={greedy:.1f}"
+    )
+    # the Fig. 1 ordering: transmission-aware < edge-cost < shortest-path
+    assert greedy <= steiner <= spt
+    benchmark.extra_info["mean_costs"] = {
+        "spt": spt, "steiner": steiner, "njt": njt, "tjt": tjt, "greedy": greedy
+    }

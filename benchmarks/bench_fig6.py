@@ -1,0 +1,40 @@
+"""Fig. 6 — random topology (200 nodes): metrics vs multicast group size.
+
+Same panels as Fig. 5 over the 200-node uniform deployment.  The paper
+notes the random-topology comparison is noisier ("MTMRP shows more or
+less advantages over other two protocols averagely"), so the assertions
+here compare sweep-wide averages, not every point.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_GROUP_SIZES, BENCH_RUNS, paired_mean_diff, series_avg
+
+from repro.experiments import figures
+from repro.experiments.report import format_series_table
+
+
+def _run_fig6():
+    return figures.fig6(runs=BENCH_RUNS, group_sizes=BENCH_GROUP_SIZES)
+
+
+def test_fig6_random_sweep(benchmark):
+    sweep = benchmark.pedantic(_run_fig6, rounds=1, iterations=1)
+
+    # Panel (a): MTMRP cheapest on average across the sweep (paired runs).
+    assert paired_mean_diff(sweep, "mtmrp", "odmrp", "data_transmissions") > 0
+    # Panel (b): member-biased protocols involve fewer extra nodes than ODMRP.
+    assert series_avg(sweep, "dodmrp", "extra_nodes") < series_avg(sweep, "odmrp", "extra_nodes")
+    assert series_avg(sweep, "mtmrp", "extra_nodes") < series_avg(sweep, "odmrp", "extra_nodes")
+    # Panel (c): relay profit grows with group size (dense deployment ->
+    # larger absolute values than the grid, as in the paper).
+    mt = sweep.series("mtmrp", "average_relay_profit")
+    assert mt[0] < mt[-1]
+    assert series_avg(sweep, "mtmrp", "average_relay_profit") >= series_avg(
+        sweep, "odmrp", "average_relay_profit"
+    )
+
+    for metric in ("data_transmissions", "extra_nodes", "average_relay_profit"):
+        print()
+        print(format_series_table(sweep, metric, title=f"Fig.6 {metric}"))
+    benchmark.extra_info["runs_per_point"] = BENCH_RUNS

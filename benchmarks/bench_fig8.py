@@ -1,0 +1,39 @@
+"""Fig. 8 — tuning N and w in the random topology (15 receivers).
+
+"When tuning N and w in random topology ... Fig. 8 shows the same results
+as in Fig. 7": MTMRP improves with larger N/w, baselines stay flat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _common import BENCH_NS, BENCH_RUNS, BENCH_WS
+
+from repro.experiments import figures
+from repro.experiments.report import format_tuning_surfaces
+
+
+def _run_fig8():
+    return figures.fig8(runs=BENCH_RUNS, ns=BENCH_NS, ws=BENCH_WS)
+
+
+def test_fig8_tuning_random(benchmark):
+    sweep = benchmark.pedantic(_run_fig8, rounds=1, iterations=1)
+    metric = "data_transmissions"
+
+    # Pooled-column comparison, as in bench_fig7 (strict at >=20 runs).
+    def col_mean(w):
+        return float(np.mean([sweep.mean("mtmrp", (n, w), metric) for n in BENCH_NS]))
+
+    weak_col, strong_col = col_mean(min(BENCH_WS)), col_mean(max(BENCH_WS))
+    tolerance = 0.0 if BENCH_RUNS >= 20 else 1.0
+    assert strong_col <= weak_col + tolerance
+
+    for proto in ("odmrp", "dodmrp"):
+        vals = np.array([sweep.mean(proto, x, metric) for x in sweep.xs])
+        assert vals.std() < 3.0
+        assert strong_col < vals.mean()
+
+    print()
+    print(format_tuning_surfaces(sweep))
+    benchmark.extra_info["runs_per_point"] = BENCH_RUNS

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Not paper figures — these track the performance of the hot paths the
+sweeps depend on (event queue, channel construction, one full protocol
+round), following the guides' advice to measure before optimising.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import SimulationConfig, run_single
+from repro.net.channel import Channel
+from repro.net.topology import grid_topology, random_topology
+from repro.sim.events import EventQueue
+from repro.sim.kernel import Simulator
+
+
+def test_event_queue_throughput(benchmark):
+    """Push/pop 10k interleaved events."""
+
+    def churn():
+        q = EventQueue()
+        for i in range(10_000):
+            q.push(float(i % 97), lambda: None)
+        n = 0
+        while q:
+            q.pop()
+            n += 1
+        return n
+
+    assert benchmark(churn) == 10_000
+
+
+def test_simulator_event_cascade(benchmark):
+    """A self-rescheduling event chain of depth 20k."""
+
+    def cascade():
+        sim = Simulator(seed=1)
+        remaining = [20_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(cascade) == 20_000
+
+
+def test_channel_construction_200_nodes(benchmark):
+    """Vectorised geometry precomputation for the 200-node deployment."""
+    pos = random_topology(200, rng=np.random.default_rng(3), comm_range=40.0)
+
+    def build():
+        sim = Simulator(seed=1)
+        return Channel(sim, pos, comm_range=40.0)
+
+    ch = benchmark(build)
+    assert ch.n == 200
+
+
+def test_full_mtmrp_round_grid(benchmark):
+    """End-to-end cost of one Monte-Carlo run (the sweeps' unit of work)."""
+    cfg = SimulationConfig(protocol="mtmrp", topology="grid", group_size=20, seed=5)
+    res = benchmark(run_single, cfg)
+    assert res.delivery_ratio > 0.8

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+The paper averages each point over 100 Monte-Carlo rounds; a full-fidelity
+regeneration is ``python -m repro.experiments <fig> --runs 100``.  The
+benchmark suite runs reduced sweeps so the whole thing finishes in
+minutes; scale with::
+
+    REPRO_BENCH_RUNS=30 pytest benchmarks/ --benchmark-only
+
+Shared constants live in ``_common.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_RUNS
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    return BENCH_RUNS

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""CBR load saturation on an MTMRP tree (extension).
+
+The paper's metrics cover one data packet per tree.  Streaming traffic
+eventually saturates the forwarding group's contention budget; this
+example sweeps the offered rate and prints the delivery knee.
+
+Run:  python examples/load_saturation.py
+"""
+
+from repro.experiments.load import load_sweep
+
+RATES = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+def main() -> None:
+    print("CBR streaming down one MTMRP tree (grid, 20 receivers, CSMA MAC)\n")
+    out = load_sweep(rates_pps=RATES, runs=5, n_packets=15)
+    print(f"{'rate (pkt/s)':>12} {'delivery':>9} {'goodput (rcv-pkt/s)':>20} {'tx/pkt':>7}")
+    for rate in RATES:
+        v = out[rate]
+        print(f"{rate:>12.0f} {v['delivery_ratio']:>9.3f} "
+              f"{v['goodput_rps']:>20.1f} {v['tx_per_packet']:>7.1f}")
+    knee = next((r for r in RATES if out[r]["delivery_ratio"] < 0.95), None)
+    if knee:
+        print(f"\nsaturation knee near {knee:.0f} pkt/s: forwarding jitter plus "
+              "802.11 contention can no longer serialise the tree's broadcasts.")
+    else:
+        print("\nno saturation within the swept range.")
+
+
+if __name__ == "__main__":
+    main()

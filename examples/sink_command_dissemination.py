@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Sink-to-actuators command dissemination — the paper's intro scenario.
+
+"Distribution of control message from a sink to a set of sensor nodes":
+a sink in the field corner must push a command to a subset of actuator
+nodes.  The naive answer is flooding (every node rebroadcasts once); the
+multicast answer is a minimum-transmission tree.  This example quantifies
+the energy the routing protocol saves, per command and over a mission of
+many commands, using the CC2420-class energy model.
+
+Run:  python examples/sink_command_dissemination.py
+"""
+
+import numpy as np
+
+from repro.experiments import SimulationConfig, monte_carlo, run_many
+
+N_ACTUATORS = 12
+ROUNDS = 10
+COMMANDS_PER_DAY = 288  # one command every 5 minutes
+
+
+def mean(results, field):
+    return float(np.mean([getattr(r, field) for r in results]))
+
+
+def main() -> None:
+    print(f"Disseminating commands from the sink to {N_ACTUATORS} actuators "
+          f"(grid WSN, {ROUNDS} Monte-Carlo rounds)\n")
+    rows = {}
+    for proto in ("flooding", "odmrp", "mtmrp"):
+        cfg = SimulationConfig(protocol=proto, topology="grid", group_size=N_ACTUATORS)
+        rows[proto] = run_many(monte_carlo(cfg, ROUNDS, batch_seed=2024))
+
+    print(f"{'protocol':<10} {'tx/command':>11} {'delivery':>9} {'energy/cmd':>12}")
+    for proto, results in rows.items():
+        print(
+            f"{proto:<10} {mean(results, 'data_transmissions'):>11.1f} "
+            f"{mean(results, 'delivery_ratio'):>9.2f} "
+            f"{mean(results, 'energy_joules') * 1e3:>10.2f}mJ"
+        )
+
+    flood_tx = mean(rows["flooding"], "data_transmissions")
+    mtmrp_tx = mean(rows["mtmrp"], "data_transmissions")
+    saved = (flood_tx - mtmrp_tx) * COMMANDS_PER_DAY
+    print(
+        f"\nOver {COMMANDS_PER_DAY} commands/day MTMRP saves "
+        f"~{saved:.0f} radio transmissions per day vs flooding "
+        f"({100 * (1 - mtmrp_tx / flood_tx):.0f}% fewer per command) — "
+        "battery lifetime scales accordingly (Sec. III's premise)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists only so that
+``pip install -e .`` works in offline environments lacking the ``wheel``
+package (pip then uses the legacy ``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of MTMRP (ICPP 2010).
+
+A discrete-event wireless-sensor-network simulator and a complete
+implementation of the paper's distributed Minimum Transmission Multicast
+Routing Protocol (MTMRP), its baselines (ODMRP, DODMRP, flooding),
+centralized reference tree algorithms, and the full experiment harness
+regenerating every figure of the paper's evaluation.
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — event kernel, RNG streams, tracing
+* :mod:`repro.phy` — propagation (TwoRayGround Eq. 5), radio, energy
+* :mod:`repro.mac` — Ideal and CSMA/CA (802.11-like) broadcast MACs
+* :mod:`repro.net` — packets, nodes, channel, topologies, HELLO
+* :mod:`repro.core` — **MTMRP** (the paper's contribution)
+* :mod:`repro.protocols` — ODMRP / DODMRP baselines
+* :mod:`repro.trees` — centralized SPT / Steiner / min-transmission trees
+* :mod:`repro.metrics` — the paper's three evaluation metrics
+* :mod:`repro.experiments` — Monte-Carlo harness for Figs. 5-10
+* :mod:`repro.viz` — ASCII field snapshots and line charts
+
+Quickstart: see ``examples/quickstart.py`` or
+:func:`repro.experiments.runner.run_protocol_once`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

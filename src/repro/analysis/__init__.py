@@ -1,0 +1,16 @@
+"""Statistical analysis of Monte-Carlo results.
+
+Small, dependency-light statistics used by the experiment reports and
+benchmarks: t-based confidence intervals and paired protocol comparisons
+(pairing by run index is valid because the harness reuses batch seeds
+across protocols, so run *i* of any two protocols sees the same topology
+and receiver draw).
+"""
+
+from repro.analysis.stats import (
+    mean_ci,
+    paired_comparison,
+    summarize_metric,
+)
+
+__all__ = ["mean_ci", "paired_comparison", "summarize_metric"]

@@ -1,0 +1,97 @@
+"""Confidence intervals and paired comparisons for run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.experiments.runner import RunResult
+
+__all__ = ["mean_ci", "paired_comparison", "summarize_metric", "PairedComparison"]
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> Dict[str, float]:
+    """Mean with a two-sided Student-t confidence interval.
+
+    Returns ``{"mean", "lo", "hi", "sem", "n"}``.  With fewer than two
+    samples the interval degenerates to the point estimate.
+    """
+    x = np.asarray(list(values), dtype=float)
+    if x.size == 0:
+        raise ValueError("no values")
+    m = float(x.mean())
+    if x.size < 2:
+        return {"mean": m, "lo": m, "hi": m, "sem": 0.0, "n": int(x.size)}
+    sem = float(x.std(ddof=1) / np.sqrt(x.size))
+    half = float(sps.t.ppf(0.5 + confidence / 2.0, df=x.size - 1) * sem)
+    return {"mean": m, "lo": m - half, "hi": m + half, "sem": sem, "n": int(x.size)}
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired protocol comparison on one metric.
+
+    ``mean_diff`` is ``mean(b - a)``: positive means protocol *a* is
+    better (lower metric).  ``p_value`` is the paired t-test's two-sided
+    p; ``win_rate`` the fraction of pairs where *a* strictly wins.
+    """
+
+    metric: str
+    a: str
+    b: str
+    mean_diff: float
+    ci_lo: float
+    ci_hi: float
+    p_value: float
+    win_rate: float
+    n: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI of the difference excludes zero."""
+        return self.ci_lo > 0.0 or self.ci_hi < 0.0
+
+
+def paired_comparison(
+    results_a: Sequence[RunResult],
+    results_b: Sequence[RunResult],
+    metric: str = "data_transmissions",
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired comparison of two protocols' runs on ``metric``.
+
+    Runs must be paired (same seeds/receiver draws per index), which the
+    harness guarantees when both batches used the same batch seed.
+    """
+    if len(results_a) != len(results_b) or not results_a:
+        raise ValueError("need equal-length, non-empty paired result lists")
+    for ra, rb in zip(results_a, results_b):
+        if ra.receivers != rb.receivers:
+            raise ValueError("results are not paired (receiver draws differ)")
+    xa = np.array([getattr(r, metric) for r in results_a], dtype=float)
+    xb = np.array([getattr(r, metric) for r in results_b], dtype=float)
+    diff = xb - xa
+    ci = mean_ci(diff, confidence)
+    if diff.size >= 2 and diff.std(ddof=1) > 0:
+        p = float(sps.ttest_rel(xb, xa).pvalue)
+    else:
+        p = 0.0 if diff.mean() != 0 else 1.0
+    return PairedComparison(
+        metric=metric,
+        a=results_a[0].protocol,
+        b=results_b[0].protocol,
+        mean_diff=float(diff.mean()),
+        ci_lo=ci["lo"],
+        ci_hi=ci["hi"],
+        p_value=p,
+        win_rate=float((xa < xb).mean()),
+        n=int(diff.size),
+    )
+
+
+def summarize_metric(results: Sequence[RunResult], metric: str) -> Dict[str, float]:
+    """``mean_ci`` over one metric of a result batch."""
+    return mean_ci([getattr(r, metric) for r in results])

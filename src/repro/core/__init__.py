@@ -1,0 +1,37 @@
+"""MTMRP — the paper's primary contribution.
+
+* :mod:`repro.core.messages` — JoinQuery / JoinReply / RouteError formats
+  (Sec. IV-C-1/2);
+* :mod:`repro.core.backoff` — the biased backoff scheme, Eqs. (2)-(4)
+  (reconstruction S1 in DESIGN.md);
+* :mod:`repro.core.mtmrp` — the protocol agent: Algorithms 1 and 2, the
+  path handover scheme (PHS), data forwarding and route recovery.
+
+``MtmrpAgent(phs=False)`` is the paper's "MTMRP w/o PHS" evaluation arm.
+
+Note: ``MtmrpAgent`` is exposed lazily because
+:mod:`repro.protocols.base` (which MTMRP builds on) itself imports the
+message formats from this package — eager re-export would create an
+import cycle when :mod:`repro.protocols` is imported first.
+"""
+
+from repro.core.backoff import BackoffParams, BiasedBackoff
+from repro.core.messages import JoinQuery, JoinReply, RouteError, Session
+
+__all__ = [
+    "BackoffParams",
+    "BiasedBackoff",
+    "JoinQuery",
+    "JoinReply",
+    "RouteError",
+    "Session",
+    "MtmrpAgent",
+]
+
+
+def __getattr__(name: str):
+    if name == "MtmrpAgent":
+        from repro.core.mtmrp import MtmrpAgent
+
+        return MtmrpAgent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,96 @@
+"""Control messages for on-demand multicast routing.
+
+Field lists follow Sec. IV-C:
+
+* **JoinQuery**: MessageType, NodeID (= :attr:`Packet.src`, updated each
+  hop), SourceID, GroupID, SequenceNumber, HopCount, PathProfit.
+* **JoinReply**: MessageType, NodeID (last hop), NexthopID, ReceiverID,
+  SourceID, GroupID, SequenceNumber.
+* **RouteError**: used by the route-recovery mechanism sketched in
+  Sec. IV-D (receiver detects a vanished forwarder via HELLO timeouts and
+  asks the source to rebuild).
+
+ODMRP and DODMRP reuse JoinQuery/JoinReply (their formats are the same
+minus PathProfit, which they simply leave at zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+from repro.net.packet import Packet
+
+__all__ = ["JoinQuery", "JoinReply", "RouteError", "Session"]
+
+#: One JoinQuery round: (SourceID, GroupID, SequenceNumber).
+Session = Tuple[int, int, int]
+
+
+@dataclass
+class JoinQuery(Packet):
+    """Multicast request flooded by the source (Sec. IV-C-1)."""
+
+    source: int = 0
+    group: int = 0
+    seq: int = 0
+    hop_count: int = 0
+    path_profit: int = 0
+
+    n_fields: ClassVar[int] = 5
+
+    @property
+    def session(self) -> Session:
+        return (self.source, self.group, self.seq)
+
+
+@dataclass
+class JoinReply(Packet):
+    """Reply travelling the reverse path of the JoinQuery (Sec. IV-C-2).
+
+    ``src`` is the paper's NodeID field (the last-hop transmitter);
+    ``nexthop`` names the one neighbor expected to act on it — but the
+    frame is physically broadcast, which is what enables overhearing and
+    the path handover scheme.  ``receiver`` is the multicast receiver that
+    originated the reply; an original (first-hop) JoinReply is recognised
+    by ``src == receiver``.
+    """
+
+    nexthop: int = 0
+    receiver: int = 0
+    source: int = 0
+    group: int = 0
+    seq: int = 0
+
+    n_fields: ClassVar[int] = 5
+
+    @property
+    def session(self) -> Session:
+        return (self.source, self.group, self.seq)
+
+    @property
+    def is_original(self) -> bool:
+        """True for the receiver's own transmission (not a relayed copy)."""
+        return self.src == self.receiver
+
+
+@dataclass
+class RouteError(Packet):
+    """Receiver-originated repair request (Sec. IV-D route recovery).
+
+    Flooded with duplicate suppression toward the source; on receipt the
+    source starts a fresh JoinQuery round (seq + 1).
+    """
+
+    receiver: int = 0
+    source: int = 0
+    group: int = 0
+    seq: int = 0
+    #: the forwarder whose disappearance triggered the error (diagnostic)
+    failed_node: int = -1
+
+    n_fields: ClassVar[int] = 5
+
+    @property
+    def session(self) -> Session:
+        return (self.source, self.group, self.seq)

@@ -1,0 +1,31 @@
+"""Experiment harness: Monte-Carlo runs regenerating Figs. 5-10.
+
+* :mod:`repro.experiments.config` — :class:`SimulationConfig`, the
+  paper's Sec. V-A settings as defaults;
+* :mod:`repro.experiments.runner` — single runs and (optionally
+  process-parallel) Monte-Carlo batches with deterministic per-run seeds;
+* :mod:`repro.experiments.figures` — one entry point per paper figure;
+* :mod:`repro.experiments.report` — ASCII tables/series in the shape the
+  paper plots.
+
+CLI: ``python -m repro.experiments fig5 --runs 100``.
+"""
+
+from repro.experiments.config import PROTOCOLS, SimulationConfig
+from repro.experiments.runner import (
+    RunResult,
+    aggregate,
+    monte_carlo,
+    run_many,
+    run_single,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "PROTOCOLS",
+    "RunResult",
+    "run_single",
+    "run_many",
+    "monte_carlo",
+    "aggregate",
+]

@@ -1,0 +1,181 @@
+"""Command-line entry point regenerating the paper's figures.
+
+Examples::
+
+    python -m repro.experiments fig5 --runs 100
+    python -m repro.experiments fig7 --runs 20
+    python -m repro.experiments fig9
+    python -m repro.experiments all --runs 10     # quick pass over everything
+
+Output is plain text (tables + ASCII charts); redirect to a file to keep a
+record, e.g. ``python -m repro.experiments fig5 --runs 100 > fig5.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+from repro.experiments.report import (
+    PANEL_TITLES,
+    format_series_chart,
+    format_series_table,
+    format_snapshots,
+    format_tuning_surfaces,
+    save_snapshot_svgs,
+    save_sweep_svgs,
+    save_tuning_svgs,
+)
+
+__all__ = ["main"]
+
+
+def _emit_sweep(sweep, name: str) -> None:
+    for metric, title in PANEL_TITLES.items():
+        print(f"\n== {name}: {title} ==")
+        print(format_series_table(sweep, metric))
+        print()
+        print(format_series_chart(sweep, metric))
+
+
+def _run_fig5(args) -> None:
+    sweep = figures.fig5(runs=args.runs, workers=args.workers)
+    _emit_sweep(sweep, "Fig. 5 (grid)")
+    if args.svg_dir:
+        for p in save_sweep_svgs(sweep, args.svg_dir, "fig5"):
+            print(f"[svg] {p}", file=sys.stderr)
+
+
+def _run_fig6(args) -> None:
+    sweep = figures.fig6(runs=args.runs, workers=args.workers)
+    _emit_sweep(sweep, "Fig. 6 (random)")
+    if args.svg_dir:
+        for p in save_sweep_svgs(sweep, args.svg_dir, "fig6"):
+            print(f"[svg] {p}", file=sys.stderr)
+
+
+def _run_fig7(args) -> None:
+    sweep = figures.fig7(runs=args.runs, workers=args.workers)
+    print("\n== Fig. 7: tuning N and w (grid, 20 receivers) ==")
+    print(format_tuning_surfaces(sweep))
+    if args.svg_dir:
+        for p in save_tuning_svgs(sweep, args.svg_dir, "fig7"):
+            print(f"[svg] {p}", file=sys.stderr)
+
+
+def _run_fig8(args) -> None:
+    sweep = figures.fig8(runs=args.runs, workers=args.workers)
+    print("\n== Fig. 8: tuning N and w (random, 15 receivers) ==")
+    print(format_tuning_surfaces(sweep))
+    if args.svg_dir:
+        for p in save_tuning_svgs(sweep, args.svg_dir, "fig8"):
+            print(f"[svg] {p}", file=sys.stderr)
+
+
+def _run_fig9(args) -> None:
+    snaps = figures.fig9(**({"seed": args.seed} if args.seed is not None else {}))
+    print("\n== Fig. 9: routing snapshots (grid, 20 receivers) ==")
+    print(format_snapshots(snaps))
+    if args.svg_dir:
+        for p in save_snapshot_svgs(snaps, args.svg_dir, "fig9"):
+            print(f"[svg] {p}", file=sys.stderr)
+
+
+def _run_fig10(args) -> None:
+    snaps = figures.fig10(**({"seed": args.seed} if args.seed is not None else {}))
+    print("\n== Fig. 10: routing snapshots (random, 15 receivers) ==")
+    print(format_snapshots(snaps))
+    if args.svg_dir:
+        for p in save_snapshot_svgs(snaps, args.svg_dir, "fig10"):
+            print(f"[svg] {p}", file=sys.stderr)
+
+
+def _run_ablations(args) -> None:
+    from repro.experiments import ablations
+
+    runs = args.runs
+    print("\n== Ablations (DESIGN.md §6) ==")
+
+    cmp = ablations.phs_ablation(runs=runs, workers=args.workers)
+    print(
+        f"\npath handover scheme: saves {cmp.mean_diff:.2f} tx "
+        f"(95% CI [{cmp.ci_lo:.2f}, {cmp.ci_hi:.2f}], p={cmp.p_value:.2g}, "
+        f"n={cmp.n})"
+    )
+
+    macs = ablations.mac_ablation(runs=runs, workers=args.workers)
+    for mac, c in macs.items():
+        print(f"MTMRP vs ODMRP under {mac:5s} MAC: MTMRP saves {c.mean_diff:.2f} tx "
+              f"(win rate {c.win_rate:.0%})")
+
+    lat = ablations.construction_latency_price(runs=runs, workers=args.workers)
+    print("\nconstruction-latency price (grid, 20 receivers):")
+    for k, v in lat.items():
+        print(f"  {k:18s} latency={v['latency'] * 1e3:7.1f} ms  overhead={v['overhead']:.1f}")
+
+    shadow = ablations.shadowing_ablation(runs=max(runs // 2, 4), workers=args.workers)
+    print("\nshadow fading (the effect Sec. V-A disables):")
+    for sigma, v in shadow.items():
+        print(f"  sigma={sigma:3.1f} dB  delivery={v['delivery_ratio']['mean']:.3f}  "
+              f"overhead={v['data_transmissions']['mean']:.1f}")
+
+    gap = ablations.centralized_gap(rounds=max(runs // 3, 3))
+    print("\ncentralized yardsticks (same instances, mean transmissions):")
+    print("  " + "  ".join(f"{k}={v:.1f}" for k, v in gap.items()))
+
+
+def _run_load(args) -> None:
+    from repro.experiments.load import load_sweep
+
+    rates = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+    out = load_sweep(rates_pps=rates, runs=max(args.runs // 5, 3))
+    print("\n== CBR load sweep (MTMRP tree, grid, 20 receivers) ==")
+    print(f"{'rate':>8} {'delivery':>9} {'goodput':>9} {'tx/pkt':>7} {'collisions':>11}")
+    for rate in rates:
+        v = out[rate]
+        print(f"{rate:>8.0f} {v['delivery_ratio']:>9.3f} {v['goodput_rps']:>9.1f} "
+              f"{v['tx_per_packet']:>7.1f} {v['collisions']:>11.0f}")
+
+
+COMMANDS = {
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "ablations": _run_ablations,
+    "load": _run_load,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the MTMRP paper's evaluation figures.",
+    )
+    parser.add_argument("figure", choices=[*COMMANDS, "all"], help="which figure to run")
+    parser.add_argument("--runs", type=int, default=30, help="Monte-Carlo rounds per point (paper: 100)")
+    parser.add_argument("--workers", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="snapshot seed for fig9/fig10 (default: each figure's representative round)",
+    )
+    parser.add_argument(
+        "--svg-dir", default=None,
+        help="also write SVG charts of each figure into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    targets = list(COMMANDS) if args.figure == "all" else [args.figure]
+    for name in targets:
+        COMMANDS[name](args)
+    print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

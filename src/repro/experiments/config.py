@@ -1,0 +1,163 @@
+"""Experiment configuration.
+
+Defaults reproduce Sec. V-A exactly: a 200 x 200 m field; grid topology =
+10 x 10 uniformly placed nodes, random topology = 200 uniformly placed
+nodes (``setdest`` equivalent, S4); source at (0, 0); transmission range
+40 m; TwoRayGround propagation; IEEE 802.11-style MAC; ``w = 0.001`` and
+``N = 4``; receivers re-drawn uniformly at random every round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+
+__all__ = ["SimulationConfig", "PROTOCOLS", "make_agent_factory", "make_positions"]
+
+#: Canonical protocol keys, in the paper's legend order.
+PROTOCOLS: Tuple[str, ...] = ("mtmrp", "mtmrp_nophs", "dodmrp", "odmrp")
+
+#: Display names used in reports (matches the paper's legends).
+PROTOCOL_LABELS: Dict[str, str] = {
+    "mtmrp": "MTMRP",
+    "mtmrp_nophs": "MTMRP w/o PHS",
+    "dodmrp": "DODMRP",
+    "odmrp": "ODMRP",
+    "flooding": "Flooding",
+    "maodv": "MAODV",
+    "gmr": "GMR",
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one Monte-Carlo run needs; picklable for worker pools."""
+
+    protocol: str = "mtmrp"
+    topology: str = "grid"  # "grid" | "random"
+    group_size: int = 20
+    seed: int = 0
+
+    # field / radio (Sec. V-A)
+    side: float = 200.0
+    grid_nx: int = 10
+    grid_ny: int = 10
+    random_nodes: int = 200
+    comm_range: float = 40.0
+    source: int = 0
+    group: int = 1
+
+    # MTMRP system parameters (Eq. 2-4)
+    backoff_n: float = 4.0
+    backoff_w: float = 0.001
+
+    # substrate
+    mac: str = "csma"  # "csma" | "ideal"
+    #: log-normal shadow-fading sigma in dB (0 = the paper's no-fading
+    #: assumption; > 0 enables the quasi-static LogDistance+shadowing
+    #: ablation, median-matched to TwoRayGround)
+    shadowing_sigma_db: float = 0.0
+    perfect_channel: bool = False  # forced True when mac == "ideal"
+    hello_phase: bool = False  # run the real HELLO protocol instead of bootstrap
+    hello_period: float = 1.0
+    hello_warmup: float = 2.5
+
+    # phases; construction_time=None -> auto-scale with the backoff bound
+    # (at N=6, w=0.03 a single hop can defer ~0.33 s, so a fixed window
+    # would truncate the JoinQuery flood mid-network)
+    construction_time: float | None = None
+    data_time: float = 1.0  # extra time for the data packet to spread
+
+    # tracing: keep RX records (needed for data-plane tree extraction)
+    keep_rx_records: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_LABELS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.topology not in ("grid", "random"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        n = self.n_nodes
+        if not (0 < self.group_size < n):
+            raise ValueError(f"group_size {self.group_size} not in (0, {n})")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.grid_nx * self.grid_ny if self.topology == "grid" else self.random_nodes
+
+    @property
+    def effective_construction_time(self) -> float:
+        """Settle time for the route-discovery phase.
+
+        Auto mode allows ~25 worst-case backoff hops (the network diameter
+        is at most ~13 hops; the margin absorbs MAC delays), floored at
+        the 2 s that suits the default parameters.
+        """
+        if self.construction_time is not None:
+            return self.construction_time
+        if self.protocol in ("mtmrp", "mtmrp_nophs"):
+            from repro.core.backoff import BackoffParams, BiasedBackoff
+
+            bound = BiasedBackoff(BackoffParams(n=self.backoff_n, w=self.backoff_w)).max_delay()
+            return max(2.0, 1.0 + 25.0 * bound)
+        return 2.0
+
+    @property
+    def label(self) -> str:
+        return PROTOCOL_LABELS[self.protocol]
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)
+
+
+def make_positions(cfg: SimulationConfig, rng: np.random.Generator) -> np.ndarray:
+    """Node coordinates for this run (grid is deterministic; random drawn)."""
+    from repro.net.topology import grid_topology, random_topology
+
+    if cfg.topology == "grid":
+        return grid_topology(cfg.grid_nx, cfg.grid_ny, cfg.side)
+    return random_topology(
+        cfg.random_nodes, cfg.side, rng=rng, comm_range=cfg.comm_range
+    )
+
+
+def make_agent_factory(cfg: SimulationConfig) -> Callable[["Node"], object]:
+    """Factory building one routing agent per node for ``cfg.protocol``."""
+    if cfg.protocol in ("mtmrp", "mtmrp_nophs"):
+        from repro.core.backoff import BackoffParams, BiasedBackoff
+        from repro.core.mtmrp import MtmrpAgent
+
+        params = BackoffParams(n=cfg.backoff_n, w=cfg.backoff_w)
+
+        def factory(node: "Node") -> object:
+            return MtmrpAgent(
+                backoff=BiasedBackoff(params), phs=(cfg.protocol == "mtmrp")
+            )
+
+        return factory
+    if cfg.protocol == "dodmrp":
+        from repro.protocols.dodmrp import DodmrpAgent
+
+        return lambda node: DodmrpAgent()
+    if cfg.protocol == "odmrp":
+        from repro.protocols.odmrp import OdmrpAgent
+
+        return lambda node: OdmrpAgent()
+    if cfg.protocol == "flooding":
+        from repro.net.flooding import FloodingAgent
+
+        return lambda node: FloodingAgent()
+    if cfg.protocol == "maodv":
+        from repro.protocols.maodv import MaodvAgent
+
+        return lambda node: MaodvAgent()
+    if cfg.protocol == "gmr":
+        from repro.protocols.gmr import GmrAgent
+
+        return lambda node: GmrAgent()
+    raise ValueError(f"unknown protocol {cfg.protocol!r}")  # pragma: no cover

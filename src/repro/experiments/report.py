@@ -1,0 +1,149 @@
+"""Rendering sweep results as the paper's tables/series."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.config import PROTOCOL_LABELS
+from repro.experiments.figures import SweepResult
+from repro.experiments.runner import RunResult
+from repro.viz.ascii_plot import render_field, render_line_chart, render_surface
+
+__all__ = [
+    "format_series_table",
+    "format_series_chart",
+    "format_tuning_surfaces",
+    "format_snapshots",
+    "save_sweep_svgs",
+    "save_tuning_svgs",
+    "save_snapshot_svgs",
+]
+
+#: metric key -> figure panel title
+PANEL_TITLES = {
+    "data_transmissions": "Normalized transmission overhead",
+    "extra_nodes": "Number of extra nodes",
+    "average_relay_profit": "Average relay profit",
+}
+
+
+def format_series_table(sweep: SweepResult, metric: str, title: str = "") -> str:
+    """One metric as a (protocol x group size) mean table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'protocol':<16}" + "".join(f"{x:>7}" for x in sweep.xs)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for proto in sweep.protocols:
+        label = PROTOCOL_LABELS.get(proto, proto)
+        row = "".join(f"{sweep.mean(proto, x, metric):7.2f}" for x in sweep.xs)
+        lines.append(f"{label:<16}" + row)
+    return "\n".join(lines)
+
+
+def format_series_chart(sweep: SweepResult, metric: str, title: str = "") -> str:
+    """One metric as an ASCII chart over the sweep's x axis."""
+    series = {
+        PROTOCOL_LABELS.get(p, p): sweep.series(p, metric) for p in sweep.protocols
+    }
+    return render_line_chart(
+        [float(x) for x in sweep.xs],
+        series,
+        title=title or PANEL_TITLES.get(metric, metric),
+        ylabel=metric,
+    )
+
+
+def format_tuning_surfaces(sweep: SweepResult, metric: str = "data_transmissions") -> str:
+    """Figs. 7-8: one (N, w) mean table per protocol."""
+    ns = sorted({n for (n, _w) in sweep.xs})
+    ws = sorted({w for (_n, w) in sweep.xs})
+    blocks = []
+    for proto in sweep.protocols:
+        vals = np.array(
+            [[sweep.mean(proto, (n, w), metric) for w in ws] for n in ns]
+        )
+        blocks.append(
+            render_surface(ns, ws, vals, title=PROTOCOL_LABELS.get(proto, proto))
+        )
+    return "\n\n".join(blocks)
+
+
+def save_sweep_svgs(sweep: SweepResult, outdir, figname: str) -> list:
+    """Write one SVG per metric panel of a group-size sweep (Figs. 5-6)."""
+    from pathlib import Path
+
+    from repro.viz.svg import line_chart_svg, save_svg
+
+    paths = []
+    for metric, title in PANEL_TITLES.items():
+        series = {
+            PROTOCOL_LABELS.get(p, p): sweep.series(p, metric) for p in sweep.protocols
+        }
+        svg = line_chart_svg(
+            [float(x) for x in sweep.xs],
+            series,
+            title=f"{figname}: {title}",
+            xlabel=sweep.xlabel,
+            ylabel=title,
+        )
+        paths.append(save_svg(svg, Path(outdir) / f"{figname}_{metric}.svg"))
+    return paths
+
+
+def save_tuning_svgs(sweep: SweepResult, outdir, figname: str,
+                     metric: str = "data_transmissions") -> list:
+    """Write one heatmap SVG per protocol of an (N, w) sweep (Figs. 7-8)."""
+    from pathlib import Path
+
+    from repro.viz.svg import save_svg, surface_svg
+
+    ns = sorted({n for (n, _w) in sweep.xs})
+    ws = sorted({w for (_n, w) in sweep.xs})
+    paths = []
+    for proto in sweep.protocols:
+        vals = np.array([[sweep.mean(proto, (n, w), metric) for w in ws] for n in ns])
+        svg = surface_svg(ns, ws, vals, title=f"{figname}: {PROTOCOL_LABELS.get(proto, proto)}")
+        paths.append(save_svg(svg, Path(outdir) / f"{figname}_{proto}.svg"))
+    return paths
+
+
+def save_snapshot_svgs(snapshots: Mapping[str, RunResult], outdir, figname: str,
+                       side: float = 200.0) -> list:
+    """Write one field SVG per protocol snapshot (Figs. 9-10)."""
+    from pathlib import Path
+
+    from repro.viz.svg import field_svg, save_svg
+
+    paths = []
+    for proto, res in snapshots.items():
+        assert res.positions is not None
+        label = PROTOCOL_LABELS.get(proto, proto)
+        title = f"{figname}: {label} — {res.data_transmissions} tx, {res.extra_nodes} extra"
+        svg = field_svg(res.positions, side, 0, res.receivers, res.transmitters, title=title)
+        paths.append(save_svg(svg, Path(outdir) / f"{figname}_{proto}.svg"))
+    return paths
+
+
+def format_snapshots(snapshots: Mapping[str, RunResult], side: float = 200.0) -> str:
+    """Figs. 9-10: ASCII field per protocol plus the caption counters."""
+    blocks = []
+    for proto, res in snapshots.items():
+        label = PROTOCOL_LABELS.get(proto, proto)
+        caption = (
+            f"{label}: {res.data_transmissions} transmissions, "
+            f"{res.extra_nodes} extra nodes, delivery {res.delivered}/{len(res.receivers)}"
+        )
+        assert res.positions is not None, "snapshot runs must keep positions"
+        field = render_field(
+            res.positions,
+            side,
+            source=0,
+            receivers=res.receivers,
+            transmitters=res.transmitters,
+        )
+        blocks.append(caption + "\n" + field)
+    return "\n\n".join(blocks)

@@ -1,0 +1,247 @@
+"""Single-run and Monte-Carlo execution.
+
+A run is a pure function of its :class:`SimulationConfig` (including the
+seed), so Monte-Carlo batches are embarrassingly parallel.  ``run_many``
+executes them serially by default and fans out over a process pool when
+``workers > 1`` — the multiprocessing analogue of the mpi4py scatter
+pattern from the hpc-parallel guides, with per-run seeds derived
+deterministically from the batch seed (``SeedSequence.spawn`` style).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import SimulationConfig, make_agent_factory, make_positions
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceKind, TraceRecorder
+
+__all__ = ["RunResult", "run_single", "run_many", "monte_carlo", "aggregate"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Flattened outcome of one Monte-Carlo run."""
+
+    protocol: str
+    topology: str
+    group_size: int
+    seed: int
+    backoff_n: float
+    backoff_w: float
+
+    data_transmissions: int
+    tree_transmissions: int
+    extra_nodes: int
+    average_relay_profit: float
+    delivered: int
+    delivery_ratio: float
+    covered_receivers: int
+    join_query_tx: int
+    join_reply_tx: int
+    hello_tx: int
+    collisions: int
+    energy_joules: float
+    #: seconds from flood start to last receiver covered (the backoff's
+    #: latency price; 0.0 for flooding, which has no construction phase)
+    construction_latency: float = 0.0
+
+    #: for snapshot rendering
+    transmitters: Tuple[int, ...] = ()
+    receivers: Tuple[int, ...] = ()
+    positions: Optional[np.ndarray] = None
+
+
+def _trace_kinds(cfg: SimulationConfig) -> set:
+    kinds = {TraceKind.TX, TraceKind.DELIVER, TraceKind.MARK, TraceKind.NOTE}
+    if cfg.keep_rx_records:
+        kinds.add(TraceKind.RX)
+    return kinds
+
+
+def run_single(cfg: SimulationConfig, keep_positions: bool = False) -> RunResult:
+    """Execute one multicast round under ``cfg`` and collect all metrics."""
+    from repro.mac.csma import CsmaMac
+    from repro.mac.ideal import IdealMac
+    from repro.metrics.collect import collect_metrics
+    from repro.net.network import Network
+
+    sim = Simulator(seed=cfg.seed, trace=TraceRecorder(enabled_kinds=_trace_kinds(cfg)))
+    positions = make_positions(cfg, sim.rng.stream("topology"))
+    perfect = cfg.perfect_channel or cfg.mac == "ideal"
+    mac_factory = IdealMac if cfg.mac == "ideal" else CsmaMac
+    propagation = None
+    if cfg.shadowing_sigma_db > 0.0:
+        from repro.phy.propagation import LogDistance
+
+        # Median-matched to the paper's TwoRayGround (Pt*(ht*hr)^2/d^4):
+        # identical nominal range, plus quasi-static log-normal fading —
+        # the effect Sec. V-A explicitly disables, kept here as an
+        # ablation substrate.
+        propagation = LogDistance(
+            reference_distance=1.0,
+            reference_power_factor=(1.5 * 1.5) ** 2,
+            path_loss_exponent=4.0,
+            shadowing_sigma_db=cfg.shadowing_sigma_db,
+            rng=sim.rng.stream("shadowing"),
+        )
+    net = Network(
+        sim,
+        positions,
+        comm_range=cfg.comm_range,
+        mac_factory=mac_factory,
+        perfect_channel=perfect,
+        propagation=propagation,
+    )
+
+    recv_rng = sim.rng.stream("receivers")
+    candidates = np.arange(0, cfg.n_nodes)
+    candidates = candidates[candidates != cfg.source]
+    receivers = recv_rng.choice(candidates, size=cfg.group_size, replace=False)
+    receivers = [int(r) for r in receivers]
+    net.set_group_members(cfg.group, receivers)
+
+    geographic = cfg.protocol == "gmr"
+    if cfg.hello_phase:
+        net.install_hello(period=cfg.hello_period, share_position=geographic)
+    agents = net.install(make_agent_factory(cfg))
+    net.start()
+    if cfg.hello_phase:
+        sim.run(until=cfg.hello_warmup)
+    else:
+        net.bootstrap_neighbor_tables(with_positions=geographic)
+
+    source_agent = agents[cfg.source]
+    t0 = sim.now
+    settle = cfg.effective_construction_time
+    if cfg.protocol == "flooding":
+        source_agent.originate(cfg.group, 0)
+        sim.run(until=t0 + settle + cfg.data_time)
+    elif geographic:
+        # stateless: no construction phase; the packet carries the
+        # destination positions (the GMR assumption set)
+        source_agent.multicast(
+            cfg.group, {d: net.node(d).position for d in receivers}, seq=0
+        )
+        sim.run(until=t0 + settle + cfg.data_time)
+    else:
+        source_agent.request_route(cfg.group)
+        sim.run(until=t0 + settle)
+        source_agent.send_data(cfg.group, 0)
+        sim.run(until=t0 + settle + cfg.data_time)
+
+    if cfg.protocol == "flooding":
+        m = _flooding_metrics(net, cfg, receivers)
+    elif geographic:
+        m = _geo_metrics(net, cfg, receivers)
+    else:
+        m = collect_metrics(net, agents, cfg.source, cfg.group, receivers)
+    return RunResult(
+        protocol=cfg.protocol,
+        topology=cfg.topology,
+        group_size=cfg.group_size,
+        seed=cfg.seed,
+        backoff_n=cfg.backoff_n,
+        backoff_w=cfg.backoff_w,
+        data_transmissions=m.data_transmissions,
+        tree_transmissions=m.tree_transmissions,
+        extra_nodes=m.extra_nodes,
+        average_relay_profit=m.average_relay_profit,
+        delivered=m.delivered,
+        delivery_ratio=m.delivery_ratio,
+        covered_receivers=m.covered_receivers,
+        join_query_tx=m.join_query_tx,
+        join_reply_tx=m.join_reply_tx,
+        hello_tx=m.hello_tx,
+        collisions=m.collisions,
+        energy_joules=m.energy_joules,
+        construction_latency=m.construction_latency,
+        transmitters=tuple(sorted(m.transmitters)),
+        receivers=tuple(receivers),
+        positions=positions if keep_positions else None,
+    )
+
+
+def _flooding_metrics(net, cfg: SimulationConfig, receivers: Sequence[int]):
+    """Flooding has no tree; every transmitter is a 'forwarder'."""
+    from repro.metrics.collect import MulticastMetrics, average_relay_profit, extra_nodes
+
+    trace = net.sim.trace
+    transmitters = trace.nodes_with(TraceKind.TX, "DataPacket")
+    delivered = len(trace.nodes_with(TraceKind.DELIVER) & set(receivers))
+    return MulticastMetrics(
+        data_transmissions=trace.count(TraceKind.TX, "DataPacket"),
+        tree_transmissions=trace.count(TraceKind.TX, "DataPacket"),
+        extra_nodes=extra_nodes(transmitters, cfg.source, receivers),
+        average_relay_profit=average_relay_profit(net, transmitters, receivers),
+        delivered=delivered,
+        delivery_ratio=delivered / len(receivers) if receivers else 1.0,
+        covered_receivers=delivered,
+        join_query_tx=0,
+        join_reply_tx=0,
+        hello_tx=trace.count(TraceKind.TX, "HelloPacket"),
+        collisions=net.channel.frames_collided,
+        energy_joules=net.energy_summary()["total_joules"],
+        transmitters=transmitters,
+    )
+
+
+def _geo_metrics(net, cfg: SimulationConfig, receivers: Sequence[int]):
+    """GMR metrics: packets are GeoDataPackets, there is no tree state."""
+    from repro.metrics.collect import MulticastMetrics, average_relay_profit, extra_nodes
+
+    trace = net.sim.trace
+    transmitters = trace.nodes_with(TraceKind.TX, "GeoDataPacket")
+    delivered = len(trace.nodes_with(TraceKind.DELIVER) & set(receivers))
+    tx = trace.count(TraceKind.TX, "GeoDataPacket")
+    return MulticastMetrics(
+        data_transmissions=tx,
+        tree_transmissions=tx,
+        extra_nodes=extra_nodes(transmitters, cfg.source, receivers),
+        average_relay_profit=average_relay_profit(net, transmitters, receivers),
+        delivered=delivered,
+        delivery_ratio=delivered / len(receivers) if receivers else 1.0,
+        covered_receivers=delivered,
+        join_query_tx=0,
+        join_reply_tx=0,
+        hello_tx=trace.count(TraceKind.TX, "HelloPacket"),
+        collisions=net.channel.frames_collided,
+        energy_joules=net.energy_summary()["total_joules"],
+        transmitters=transmitters,
+    )
+
+
+def monte_carlo(cfg: SimulationConfig, n_runs: int, batch_seed: int = 12345) -> List[SimulationConfig]:
+    """Expand ``cfg`` into ``n_runs`` configs with independent seeds."""
+    seeds = RngRegistry(batch_seed).spawn_run_seeds(n_runs)
+    return [cfg.with_(seed=s) for s in seeds]
+
+
+def run_many(
+    configs: Iterable[SimulationConfig],
+    workers: int = 1,
+) -> List[RunResult]:
+    """Run every config; process-parallel when ``workers > 1``."""
+    cfgs = list(configs)
+    if workers <= 1:
+        return [run_single(c) for c in cfgs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_single, cfgs, chunksize=max(1, len(cfgs) // (4 * workers))))
+
+
+def aggregate(results: Sequence[RunResult], metric: str) -> Dict[str, float]:
+    """Mean / std / standard-error summary of one metric over runs."""
+    vals = np.asarray([getattr(r, metric) for r in results], dtype=float)
+    if vals.size == 0:
+        raise ValueError("no results to aggregate")
+    return {
+        "mean": float(vals.mean()),
+        "std": float(vals.std(ddof=1)) if vals.size > 1 else 0.0,
+        "sem": float(vals.std(ddof=1) / np.sqrt(vals.size)) if vals.size > 1 else 0.0,
+        "n": int(vals.size),
+    }

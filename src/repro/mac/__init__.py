@@ -1,0 +1,18 @@
+"""Medium access control layers.
+
+Two MACs are provided (see DESIGN.md, substitution S3):
+
+* :class:`~repro.mac.ideal.IdealMac` — collision-free, fixed tiny access
+  delay; with ``Channel(perfect=True)`` the medium is deterministic.
+  Used by unit tests and fast parameter sweeps.
+* :class:`~repro.mac.csma.CsmaMac` — an IEEE 802.11 DCF-like broadcast
+  MAC: carrier sense, DIFS, slotted contention-window backoff, no
+  ACK/retransmission for broadcast frames (per the standard).  This is
+  the paper's MAC setting.
+"""
+
+from repro.mac.base import Mac
+from repro.mac.ideal import IdealMac
+from repro.mac.csma import CsmaMac, CsmaParams
+
+__all__ = ["Mac", "IdealMac", "CsmaMac", "CsmaParams"]

@@ -1,0 +1,42 @@
+"""Evaluation metrics (Sec. V-A).
+
+The paper's three metrics, computed from a finished simulation's trace and
+protocol state:
+
+* **normalized transmission overhead** — transmissions needed to deliver
+  one data packet from the source to all receivers.  We report both the
+  *measured* count (Data TX records) and the *tree* count
+  (1 + |forwarders|); they coincide when the data phase is loss-free;
+* **number of extra nodes** — transmitting nodes that are neither the
+  source nor receivers;
+* **average relay profit** — mean, over transmitting nodes, of the number
+  of multicast receivers among their one-hop neighbors (see
+  :func:`average_relay_profit` for why this non-exclusive reading matches
+  the paper's reported magnitudes).
+
+Plus supporting measurements: delivery ratio, control overhead, energy.
+"""
+
+from repro.metrics.collect import (
+    MulticastMetrics,
+    average_relay_profit,
+    collect_metrics,
+    data_transmitters,
+    extra_nodes,
+)
+from repro.metrics.tree_extract import (
+    data_tree_from_trace,
+    forwarder_set,
+    reverse_path_tree,
+)
+
+__all__ = [
+    "MulticastMetrics",
+    "collect_metrics",
+    "data_transmitters",
+    "extra_nodes",
+    "average_relay_profit",
+    "forwarder_set",
+    "reverse_path_tree",
+    "data_tree_from_trace",
+]

@@ -1,0 +1,54 @@
+"""Network substrate: packets, nodes, channel, topology, neighbor discovery.
+
+This package provides everything below the routing protocols:
+
+* :mod:`repro.net.packet` — packet dataclasses with size accounting;
+* :mod:`repro.net.topology` — grid / random deployments (Sec. V-A) and
+  unit-disk connectivity graphs;
+* :mod:`repro.net.channel` — the shared wireless medium: reachability,
+  propagation delay, collision bookkeeping, energy charging;
+* :mod:`repro.net.node` — :class:`Node` and the :class:`Agent` protocol
+  hook; :mod:`repro.net.network` assembles a whole deployment;
+* :mod:`repro.net.neighbor` — HELLO protocol and neighbor tables with
+  timestamped entries and expiry (Sec. IV-B);
+* :mod:`repro.net.flooding` — the naive flooding baseline from Sec. I.
+"""
+
+from repro.net.packet import (
+    DataPacket,
+    HelloPacket,
+    Packet,
+    BROADCAST,
+)
+from repro.net.topology import (
+    connectivity_graph,
+    grid_topology,
+    neighbors_within_range,
+    pairwise_distances,
+    random_topology,
+)
+from repro.net.channel import Channel
+from repro.net.node import Agent, Node
+from repro.net.network import Network
+from repro.net.neighbor import HelloAgent, NeighborEntry, NeighborTable
+from repro.net.flooding import FloodingAgent
+
+__all__ = [
+    "Packet",
+    "DataPacket",
+    "HelloPacket",
+    "BROADCAST",
+    "grid_topology",
+    "random_topology",
+    "pairwise_distances",
+    "neighbors_within_range",
+    "connectivity_graph",
+    "Channel",
+    "Node",
+    "Agent",
+    "Network",
+    "NeighborTable",
+    "NeighborEntry",
+    "HelloAgent",
+    "FloodingAgent",
+]

@@ -1,0 +1,65 @@
+"""The protocol-agent base class.
+
+Lives in its own module so that both :mod:`repro.net.node` and protocol
+modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple, Type
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+    from repro.net.node import Node
+
+__all__ = ["Agent"]
+
+
+class Agent:
+    """Base class for protocol logic living on a node.
+
+    Subclasses set :attr:`handled_packets` to the packet classes they want
+    and override :meth:`on_packet`.  ``attach`` wires the back-reference;
+    ``start`` is called once the whole network is assembled — agents
+    schedule their initial timers there.
+    """
+
+    #: packet classes this agent receives (empty = none)
+    handled_packets: Tuple[Type[Packet], ...] = ()
+
+    def __init__(self) -> None:
+        self.node: Optional["Node"] = None
+
+    # -- wiring -------------------------------------------------------- #
+    def attach(self, node: "Node") -> None:
+        self.node = node
+
+    def start(self) -> None:
+        """Called once after the network is fully assembled."""
+
+    # -- convenience accessors ------------------------------------------ #
+    @property
+    def sim(self):
+        assert self.node is not None
+        return self.node.network.sim
+
+    @property
+    def network(self) -> "Network":
+        assert self.node is not None
+        return self.node.network
+
+    @property
+    def node_id(self) -> int:
+        assert self.node is not None
+        return self.node.node_id
+
+    def send(self, packet: Packet) -> None:
+        """Broadcast ``packet`` through this node's MAC."""
+        assert self.node is not None
+        self.node.send(packet)
+
+    # -- dispatch -------------------------------------------------------- #
+    def on_packet(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,223 @@
+"""The shared wireless medium.
+
+The channel precomputes, for an entire deployment, the pairwise distances,
+received powers, reachability sets and propagation delays (vectorised —
+this is network construction's hot path).  At runtime it:
+
+* delivers every transmission to every node within range after the
+  line-of-sight propagation delay (broadcast nature of Sec. I);
+* maintains per-node concurrent-reception state via
+  :class:`repro.phy.radio.Radio` so overlapping arrivals collide (unless
+  the capture condition holds) — matching ns-2's 802.11 PHY behaviour
+  (substitution S3);
+* charges TX energy to the sender and RX energy to every node in range —
+  the cost model of Sec. III ("the cost of a transmission consists of the
+  sending cost of the sender, and the receiving cost of its one hop
+  neighbors");
+* emits TX / RX / COLLISION trace records for the metrics layer.
+
+``perfect=True`` disables collision bookkeeping (every in-range arrival
+succeeds); combined with :class:`repro.mac.ideal.IdealMac` this gives the
+deterministic medium used by unit tests and fast sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.phy.energy import EnergyModel
+from repro.phy.propagation import PropagationModel, TwoRayGround, range_to_threshold
+from repro.phy.radio import Radio, Reception
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """Wireless broadcast medium for one deployment.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (clock, scheduling, trace).
+    positions:
+        ``(n, 2)`` node coordinates in meters.
+    comm_range:
+        Nominal transmission range in meters (40 m in the paper).  The
+        receive threshold is derived from it through the propagation
+        model, so ``receive iff distance <= comm_range`` exactly.
+    propagation:
+        Propagation model; defaults to the paper's TwoRayGround (Eq. 5).
+    bitrate_bps:
+        Link bitrate used for frame airtime (2 Mb/s, the ns-2 802.11
+        default).
+    perfect:
+        Disable collisions (see module docstring).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        positions: np.ndarray,
+        comm_range: float = 40.0,
+        propagation: Optional[PropagationModel] = None,
+        tx_power: float = 0.281838,  # ns-2 default for ~250m; rescaled by threshold anyway
+        bitrate_bps: float = 2_000_000.0,
+        energy_model: Optional[EnergyModel] = None,
+        perfect: bool = False,
+        capture_threshold_db: float = 10.0,
+    ) -> None:
+        self.sim = sim
+        self.positions = np.asarray(positions, dtype=float)
+        self.n = len(self.positions)
+        self.comm_range = float(comm_range)
+        self.propagation = propagation if propagation is not None else TwoRayGround()
+        self.tx_power = float(tx_power)
+        self.bitrate_bps = float(bitrate_bps)
+        self.energy_model = energy_model if energy_model is not None else EnergyModel(
+            bitrate_bps=bitrate_bps
+        )
+        self.perfect = perfect
+        self.rx_threshold = range_to_threshold(self.propagation, self.tx_power, self.comm_range)
+
+        self._recompute_geometry()
+
+        self.radios = [Radio(i, capture_threshold_db=capture_threshold_db) for i in range(self.n)]
+        self._nodes: List["Node"] = []
+
+        # counters useful for profiling and tests
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_collided = 0
+
+    def _recompute_geometry(self) -> None:
+        """Vectorised geometry precomputation (also used by mobility).
+
+        Reachability is power-based: ``rx_power >= rx_threshold``.  For
+        the paper's deterministic TwoRayGround this is exactly the
+        ``distance <= comm_range`` disk; for fading models (the shadowing
+        ablation) links fluctuate around the nominal range.  Link gains
+        are symmetrised (shadowing is a property of the path, not the
+        direction).
+        """
+        diff = self.positions[:, None, :] - self.positions[None, :, :]
+        self.distances = np.sqrt((diff**2).sum(axis=2))
+        d = self.distances.copy()
+        np.fill_diagonal(d, np.inf)
+        with np.errstate(divide="ignore"):
+            rx = np.asarray(
+                self.propagation.receive_power(self.tx_power, np.maximum(d, 1e-9))
+            )
+        iu = np.triu_indices(self.n, k=1)
+        rx[(iu[1], iu[0])] = rx[iu]  # mirror the upper triangle
+        self.rx_power = rx
+        reach = rx >= self.rx_threshold
+        np.fill_diagonal(reach, False)
+        self.neighbor_ids: List[np.ndarray] = [np.flatnonzero(reach[i]) for i in range(self.n)]
+        self.prop_delays = self.distances / 299_792_458.0
+
+    def update_positions(self, positions: np.ndarray) -> None:
+        """Move the nodes and re-derive reachability (mobility extension).
+
+        Frames already in flight keep the delivery schedule computed at
+        transmit time — physically, a frame reaches whoever was in range
+        when it was sent.
+        """
+        pos = np.asarray(positions, dtype=float)
+        if pos.shape != self.positions.shape:
+            raise ValueError(f"expected shape {self.positions.shape}, got {pos.shape}")
+        self.positions = pos.copy()
+        self._recompute_geometry()
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach_nodes(self, nodes: List["Node"]) -> None:
+        """Bind the node objects (done once by :class:`repro.net.network.Network`)."""
+        if len(nodes) != self.n:
+            raise ValueError(f"expected {self.n} nodes, got {len(nodes)}")
+        self._nodes = nodes
+
+    def neighbors(self, node_id: int) -> np.ndarray:
+        """Ids of nodes within communication range of ``node_id``."""
+        return self.neighbor_ids[node_id]
+
+    def airtime(self, packet: "Packet") -> float:
+        """Frame duration on the medium, seconds."""
+        return packet.size_bits() / self.bitrate_bps
+
+    # ------------------------------------------------------------------ #
+    # carrier sense (used by the CSMA MAC)
+    # ------------------------------------------------------------------ #
+    def medium_busy(self, node_id: int) -> bool:
+        """Does ``node_id`` sense the medium busy right now?"""
+        return self.radios[node_id].medium_busy(self.sim.now)
+
+    def busy_until(self, node_id: int) -> float:
+        """Earliest instant the medium could be sensed free at ``node_id``."""
+        return self.radios[node_id].busy_until(self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # transmission
+    # ------------------------------------------------------------------ #
+    def transmit(self, node_id: int, packet: "Packet") -> None:
+        """Broadcast ``packet`` from ``node_id`` to everyone in range.
+
+        Called by MAC layers only; protocols go through
+        :meth:`repro.net.node.Node.send`.
+        """
+        now = self.sim.now
+        duration = self.airtime(packet)
+        bits = packet.size_bits()
+        radio = self.radios[node_id]
+        radio.begin_tx(now, duration)
+        self.sim.schedule(duration, radio.end_tx, now + duration, priority=-1)
+
+        self.frames_sent += 1
+        self.sim.trace.emit(now, TraceKind.TX, node_id, packet.ptype, packet.uid)
+        node = self._nodes[node_id] if self._nodes else None
+        if node is not None:
+            node.energy.charge_tx(self.energy_model.tx_energy(bits))
+
+        for nbr in self.neighbor_ids[node_id]:
+            delay = self.prop_delays[node_id, nbr]
+            self.sim.schedule(
+                delay,
+                self._arrive,
+                int(nbr),
+                packet,
+                float(self.rx_power[node_id, nbr]),
+                duration,
+            )
+
+    # ------------------------------------------------------------------ #
+    # reception pipeline
+    # ------------------------------------------------------------------ #
+    def _arrive(self, nbr_id: int, packet: "Packet", power: float, duration: float) -> None:
+        radio = self.radios[nbr_id]
+        rec = radio.begin_reception(packet, self.sim.now, duration, power)
+        self.sim.schedule(duration, self._finish, nbr_id, rec, priority=1)
+
+    def _finish(self, nbr_id: int, rec: Reception, ) -> None:
+        now = self.sim.now
+        radio = self.radios[nbr_id]
+        ok = radio.finish_reception(rec, now)
+        packet: "Packet" = rec.frame
+        node = self._nodes[nbr_id] if self._nodes else None
+        if node is not None:
+            node.energy.charge_rx(self.energy_model.rx_energy(packet.size_bits()))
+        if ok or self.perfect:
+            self.frames_delivered += 1
+            self.sim.trace.emit(now, TraceKind.RX, nbr_id, packet.ptype, packet.uid)
+            if node is not None:
+                node.on_packet_received(packet)
+        else:
+            self.frames_collided += 1
+            self.sim.trace.emit(now, TraceKind.COLLISION, nbr_id, packet.ptype, packet.uid)

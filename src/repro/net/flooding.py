@@ -1,0 +1,52 @@
+"""Naive flooding — the strawman of Sec. I.
+
+"The data packet is sent throughout the network, and every node that
+receives this packet only broadcasts it to its immediate neighbors once."
+Every reachable node transmits exactly once, so the transmission overhead
+equals the network size regardless of how many receivers there are.  This
+is the upper baseline the multicast protocols are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.net.agent import Agent
+from repro.net.packet import DataPacket
+from repro.sim.trace import TraceKind
+
+__all__ = ["FloodingAgent"]
+
+
+class FloodingAgent(Agent):
+    """Flood every data packet once; deliver to local group members."""
+
+    handled_packets = (DataPacket,)
+
+    def __init__(self, forward_jitter: float = 2e-3) -> None:
+        super().__init__()
+        self.forward_jitter = forward_jitter
+        self.seen: Set[Tuple[int, int, int]] = set()
+        self.delivered: Set[Tuple[int, int, int]] = set()
+
+    def originate(self, group: int, seq: int = 0) -> DataPacket:
+        """Source API: flood one data packet into the network."""
+        pkt = DataPacket(src=self.node_id, source=self.node_id, group=group, seq=seq)
+        self.seen.add(pkt.flow_key)
+        self.send(pkt)
+        return pkt
+
+    def on_packet(self, packet: DataPacket) -> None:
+        key = packet.flow_key
+        if key in self.seen:
+            self.sim.trace.emit(self.sim.now, TraceKind.DROP, self.node_id, packet.ptype, "dup")
+            return
+        self.seen.add(key)
+        if self.node.is_member(packet.group) and key not in self.delivered:
+            self.delivered.add(key)
+            self.sim.trace.emit(
+                self.sim.now, TraceKind.DELIVER, self.node_id, packet.ptype, key
+            )
+        rng = self.sim.rng.stream("flood", self.node_id)
+        fwd = packet.clone_for_forwarding(self.node_id)
+        self.sim.schedule(float(rng.uniform(0.0, self.forward_jitter)), self.send, fwd)

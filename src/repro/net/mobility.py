@@ -1,0 +1,93 @@
+"""Node mobility (extension).
+
+The paper assumes "the locations of nodes are static or change slowly"
+and excludes high mobility.  This module provides the *slowly changing*
+case as an extension: a random-waypoint walker that periodically updates
+node positions and re-derives the channel's geometry, so HELLO-maintained
+neighbor tables drift exactly as they would in a real deployment.
+
+Design note: positions are updated in discrete steps (``update_interval``)
+rather than continuously — between steps the geometry is frozen, which is
+the standard discrete-event treatment and is accurate when
+``speed * update_interval`` is small against the transmission range.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+
+__all__ = ["RandomWaypointMobility"]
+
+
+class RandomWaypointMobility:
+    """Random-waypoint movement over a deployment.
+
+    Every node independently picks a uniform waypoint in the field, walks
+    toward it at a uniform-random speed from ``[speed_min, speed_max]``,
+    pauses ``pause`` seconds on arrival, and repeats.  ``pinned`` node ids
+    (e.g. the source/sink) never move.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        speed_min: float = 0.1,
+        speed_max: float = 1.0,
+        pause: float = 0.0,
+        update_interval: float = 1.0,
+        pinned: tuple = (0,),
+    ) -> None:
+        if speed_min <= 0 or speed_max < speed_min:
+            raise ValueError("need 0 < speed_min <= speed_max")
+        self.network = network
+        self.sim = network.sim
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+        self.pause = pause
+        self.update_interval = update_interval
+        self.pinned = set(pinned)
+        self.side = float(network.positions.max())
+        n = len(network)
+        rng = self.sim.rng.stream("mobility")
+        self._rng = rng
+        self._positions = network.positions.copy()
+        self._waypoints = rng.uniform(0.0, self.side, size=(n, 2))
+        self._speeds = rng.uniform(speed_min, speed_max, size=n)
+        self._pause_until = np.zeros(n)
+        self._started = False
+        #: number of geometry updates applied (stats/tests)
+        self.updates = 0
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Begin periodic movement."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(self.update_interval, self._tick)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        dt = self.update_interval
+        for i in range(len(self._positions)):
+            if i in self.pinned or now < self._pause_until[i]:
+                continue
+            delta = self._waypoints[i] - self._positions[i]
+            dist = float(np.hypot(*delta))
+            step = self._speeds[i] * dt
+            if dist <= step:
+                # arrive, pause, pick the next leg
+                self._positions[i] = self._waypoints[i]
+                self._pause_until[i] = now + self.pause
+                self._waypoints[i] = self._rng.uniform(0.0, self.side, size=2)
+                self._speeds[i] = self._rng.uniform(self.speed_min, self.speed_max)
+            else:
+                self._positions[i] += delta * (step / dist)
+        self.network.update_positions(self._positions)
+        self.updates += 1
+        self.sim.schedule(self.update_interval, self._tick)

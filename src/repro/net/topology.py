@@ -1,0 +1,138 @@
+"""Node deployments and unit-disk connectivity.
+
+Reproduces the two deployments of Sec. V-A:
+
+* **grid**: ``nx x ny`` nodes uniformly placed over the square field
+  (10x10 over 200x200 m in the paper), node 0 at the origin — which is
+  also where the paper positions the multicast source;
+* **random**: ``n`` nodes uniformly distributed (ns-2's ``setdest`` output
+  for a static scene — substitution S4), with node 0 pinned to the origin
+  so the source sits at (0, 0) as in the paper.
+
+All geometry is vectorised NumPy; the connectivity helpers are the hot
+path of network construction and are exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "grid_topology",
+    "random_topology",
+    "pairwise_distances",
+    "neighbors_within_range",
+    "connectivity_graph",
+    "is_connected_to_source",
+]
+
+
+def grid_topology(nx_nodes: int = 10, ny_nodes: int = 10, side: float = 200.0) -> np.ndarray:
+    """Uniform grid of ``nx_nodes * ny_nodes`` positions over a ``side``-m square.
+
+    Node ids are row-major starting at the origin corner: node 0 is at
+    (0, 0) — the paper's source position.  Returns an ``(n, 2)`` float
+    array of coordinates in meters.
+    """
+    if nx_nodes < 1 or ny_nodes < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    xs = np.linspace(0.0, side, nx_nodes) if nx_nodes > 1 else np.array([0.0])
+    ys = np.linspace(0.0, side, ny_nodes) if ny_nodes > 1 else np.array([0.0])
+    gx, gy = np.meshgrid(xs, ys, indexing="xy")
+    return np.column_stack([gx.ravel(), gy.ravel()]).astype(float)
+
+
+def random_topology(
+    n: int = 200,
+    side: float = 200.0,
+    rng: Optional[np.random.Generator] = None,
+    pin_origin: bool = True,
+    comm_range: Optional[float] = None,
+    max_resample: int = 200,
+) -> np.ndarray:
+    """Uniform random deployment of ``n`` nodes over a ``side``-m square.
+
+    Parameters
+    ----------
+    pin_origin:
+        Place node 0 exactly at (0, 0) so the source matches the paper.
+    comm_range:
+        If given, resample until node 0 can reach every node (the paper's
+        density — 200 nodes, 40 m range — makes the network connected with
+        overwhelming probability; resampling only trims the rare
+        pathological draw so every Monte-Carlo round measures a feasible
+        multicast request).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if n < 1:
+        raise ValueError("need at least one node")
+    for _ in range(max_resample):
+        pos = rng.uniform(0.0, side, size=(n, 2))
+        if pin_origin:
+            pos[0] = (0.0, 0.0)
+        if comm_range is None or is_connected_to_source(pos, comm_range, source=0):
+            return pos
+    raise RuntimeError(
+        f"could not draw a connected topology in {max_resample} attempts "
+        f"(n={n}, side={side}, range={comm_range})"
+    )
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` Euclidean distance matrix."""
+    pos = np.asarray(positions, dtype=float)
+    diff = pos[:, None, :] - pos[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def neighbors_within_range(positions: np.ndarray, comm_range: float) -> List[np.ndarray]:
+    """Per-node arrays of neighbor ids (distance <= range, excluding self)."""
+    d = pairwise_distances(positions)
+    n = d.shape[0]
+    np.fill_diagonal(d, np.inf)
+    mask = d <= comm_range
+    return [np.flatnonzero(mask[i]) for i in range(n)]
+
+
+def connectivity_graph(positions: np.ndarray, comm_range: float) -> nx.Graph:
+    """Undirected unit-disk graph G=(V, E) of Sec. III.
+
+    Nodes carry a ``pos`` attribute; edges carry the Euclidean ``weight``.
+    """
+    pos = np.asarray(positions, dtype=float)
+    g = nx.Graph()
+    for i, p in enumerate(pos):
+        g.add_node(i, pos=(float(p[0]), float(p[1])))
+    d = pairwise_distances(pos)
+    iu, ju = np.triu_indices(len(pos), k=1)
+    within = d[iu, ju] <= comm_range
+    for i, j in zip(iu[within], ju[within]):
+        g.add_edge(int(i), int(j), weight=float(d[i, j]))
+    return g
+
+
+def is_connected_to_source(positions: np.ndarray, comm_range: float, source: int = 0) -> bool:
+    """True iff every node is reachable from ``source`` in the disk graph.
+
+    Implemented as a vectorised BFS over the boolean adjacency matrix —
+    avoids building a networkx graph in the resampling loop.
+    """
+    pos = np.asarray(positions, dtype=float)
+    n = len(pos)
+    if n == 1:
+        return True
+    d = pairwise_distances(pos)
+    np.fill_diagonal(d, np.inf)
+    adj = d <= comm_range
+    reached = np.zeros(n, dtype=bool)
+    reached[source] = True
+    frontier = np.array([source])
+    while frontier.size:
+        nxt = adj[frontier].any(axis=0) & ~reached
+        reached |= nxt
+        frontier = np.flatnonzero(nxt)
+    return bool(reached.all())

@@ -1,0 +1,30 @@
+"""Radio physical layer: propagation, radio state machine, energy.
+
+Implements the paper's PHY assumptions (Sec. III and V-A): fixed
+transmission power, identical transmission range for all nodes, and the
+TwoRayGround deterministic propagation model of Eq. (5) without shadowing,
+so a packet is received iff the received power clears the threshold —
+equivalently, iff sender-receiver distance is within the nominal range.
+"""
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogDistance,
+    PropagationModel,
+    TwoRayGround,
+    range_to_threshold,
+)
+from repro.phy.radio import Radio, RadioState
+from repro.phy.energy import EnergyModel, EnergyAccount
+
+__all__ = [
+    "PropagationModel",
+    "FreeSpace",
+    "TwoRayGround",
+    "LogDistance",
+    "range_to_threshold",
+    "Radio",
+    "RadioState",
+    "EnergyModel",
+    "EnergyAccount",
+]

@@ -1,0 +1,32 @@
+"""On-demand multicast routing framework and baseline protocols.
+
+:mod:`repro.protocols.base` provides the machinery shared by every
+on-demand multicast protocol in this repo (JoinQuery flooding with
+duplicate suppression and reverse-path learning, JoinReply propagation and
+forwarder marking, forwarding-group data dissemination, route-error
+recovery).  The baselines are:
+
+* :class:`~repro.protocols.odmrp.OdmrpAgent` — ODMRP [Lee, Su, Gerla];
+* :class:`~repro.protocols.dodmrp.DodmrpAgent` — destination-driven ODMRP
+  (substitution S5 in DESIGN.md).
+
+MTMRP itself lives in :mod:`repro.core.mtmrp` and subclasses the same
+base — which demonstrates the paper's claim that its ideas "can be applied
+to most existing on-demand multicast routing protocols".
+"""
+
+from repro.protocols.base import OnDemandMulticastAgent, SessionState
+from repro.protocols.odmrp import OdmrpAgent
+from repro.protocols.dodmrp import DodmrpAgent
+from repro.protocols.gmr import GeoDataPacket, GmrAgent
+from repro.protocols.maodv import MaodvAgent
+
+__all__ = [
+    "OnDemandMulticastAgent",
+    "SessionState",
+    "OdmrpAgent",
+    "DodmrpAgent",
+    "GmrAgent",
+    "GeoDataPacket",
+    "MaodvAgent",
+]

@@ -1,0 +1,419 @@
+"""Shared machinery for on-demand multicast routing protocols.
+
+:class:`OnDemandMulticastAgent` implements everything ODMRP, DODMRP and
+MTMRP have in common — the paper positions MTMRP as "a general
+architectural extension to those on-demand routing protocols where the
+route discovery process is performed", and this class is that architecture:
+
+* **JoinQuery flooding** with per-session duplicate suppression, reverse
+  path learning (upstream NodeID, HopCount) and a protocol-specific
+  forwarding delay (the hook MTMRP's biased backoff plugs into);
+* **JoinReply propagation** along the reverse path, marking forwarders
+  (``FG_FLAG`` in ODMRP terms);
+* **data dissemination** over the forwarding group: source and forwarders
+  broadcast each data packet once, receivers record delivery;
+* **route recovery**: RouteError packets flooded back to the source, which
+  rebuilds the tree with a fresh sequence number (Sec. IV-D).
+
+Protocol behaviour is customised through a small set of hooks (see the
+"subclass hooks" section); the default implementations give plain ODMRP
+semantics.
+
+Sessions
+--------
+A *session* is one route-discovery round ``(source, group, seq)``.  Each
+node keeps at most one :class:`SessionState` per ``(source, group)``; a
+JoinQuery with a larger ``seq`` replaces the state (route refresh), equal
+``seq`` is a duplicate, smaller is stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.messages import JoinQuery, JoinReply, RouteError, Session
+from repro.net.agent import Agent
+from repro.net.packet import DataPacket, Packet
+from repro.sim.trace import TraceKind
+
+__all__ = ["SessionState", "OnDemandMulticastAgent"]
+
+GroupKey = Tuple[int, int]  # (source, group)
+
+
+@dataclass
+class SessionState:
+    """One node's state for the current round of a multicast session."""
+
+    source: int
+    group: int
+    seq: int
+    #: neighbor we first received the JoinQuery from (reverse path)
+    upstream: Optional[int]
+    #: our hop distance from the source
+    hop_count: int = 0
+    #: PathProfit carried by the JoinQuery we accepted (Definition 2)
+    path_profit: int = 0
+    #: our RelayProfit, cached at JoinQuery arrival (Definition 1)
+    relay_profit: int = 0
+    #: FG_FLAG — we re-broadcast data packets of this session
+    is_forwarder: bool = False
+    #: (receivers only) we are connected to the multicast tree
+    covered: bool = False
+    #: (receivers only) we originated a JoinReply
+    replied: bool = False
+    #: we already re-broadcast the JoinQuery
+    query_forwarded: bool = False
+    #: receivers whose JoinReply we already acted on as next hop
+    acted_nexthop_for: Set[int] = field(default_factory=set)
+    #: neighbors that named us as their next hop toward the source — their
+    #: data delivery depends on us, so they can never serve as our own
+    #: path-handover target (would deadlock the data flow)
+    downstream_children: Set[int] = field(default_factory=set)
+
+    @property
+    def session(self) -> Session:
+        return (self.source, self.group, self.seq)
+
+
+class OnDemandMulticastAgent(Agent):
+    """Base class for ODMRP-family multicast routing agents."""
+
+    handled_packets = (JoinQuery, JoinReply, DataPacket, RouteError)
+
+    #: protocol name used in traces/reports; subclasses override
+    protocol_name = "base"
+
+    def __init__(
+        self,
+        query_jitter: float = 2e-3,
+        reply_jitter: float = 5e-3,
+        data_jitter: float = 50e-3,
+        fg_timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self.query_jitter = query_jitter
+        self.reply_jitter = reply_jitter
+        self.data_jitter = data_jitter
+        #: soft-state forwarding-group timeout (ODMRP's FG_FLAG timer).
+        #: When set, a node keeps forwarding data for this long after its
+        #: last forwarder mark even across route refreshes — the "mesh"
+        #: redundancy that makes ODMRP-family protocols robust under
+        #: periodic refresh.  None (default) = strict per-round trees,
+        #: which is what the paper's single-round metrics measure.
+        self.fg_timeout = fg_timeout
+        #: per (source, group): simulated time until which the FG soft
+        #: state stays active
+        self._fg_until: Dict[GroupKey, float] = {}
+        #: per group: periodic-refresh bookkeeping at the source
+        self._refresh_events: Dict[int, object] = {}
+        self.sessions: Dict[GroupKey, SessionState] = {}
+        #: flow keys of data packets already processed (duplicate filter)
+        self.data_seen: Set[tuple] = set()
+        #: flow keys delivered to the application (receivers)
+        self.delivered: Set[tuple] = set()
+        #: at the source: receivers whose JoinReply reached us
+        self.connected_receivers: Set[int] = set()
+        #: at the source: next JoinQuery sequence number per group
+        self._next_seq: Dict[int, int] = {}
+        #: route errors already forwarded (duplicate filter)
+        self._route_errors_seen: Set[tuple] = set()
+        #: last-hop node of the most recent data packet per (source, group)
+        self.last_data_from: Dict[GroupKey, int] = {}
+        # statistics
+        self.stats: Dict[str, int] = {
+            "queries_forwarded": 0,
+            "replies_originated": 0,
+            "replies_forwarded": 0,
+            "replies_suppressed": 0,
+            "handovers": 0,
+            "data_forwarded": 0,
+            "route_errors_sent": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def _rng(self):
+        return self.sim.rng.stream("proto", self.node_id)
+
+    def state_of(self, source: int, group: int) -> Optional[SessionState]:
+        return self.sessions.get((source, group))
+
+    @property
+    def is_forwarder_any(self) -> bool:
+        """Is this node a forwarder of any current session?"""
+        return any(st.is_forwarder for st in self.sessions.values())
+
+    # ------------------------------------------------------------------ #
+    # source API
+    # ------------------------------------------------------------------ #
+    def request_route(self, group: int) -> Session:
+        """Source: flood a JoinQuery for ``group``; returns the session."""
+        seq = self._next_seq.get(group, 0)
+        self._next_seq[group] = seq + 1
+        me = self.node_id
+        st = SessionState(source=me, group=group, seq=seq, upstream=None, hop_count=0)
+        st.query_forwarded = True  # the origination below is our transmission
+        self.sessions[(me, group)] = st
+        st.relay_profit = self.compute_relay_profit(group, st.session)
+        jq = JoinQuery(
+            src=me, source=me, group=group, seq=seq, hop_count=0,
+            path_profit=0,
+        )
+        self.send(jq)
+        return st.session
+
+    def start_periodic_refresh(self, group: int, interval: float) -> None:
+        """Source: re-flood the JoinQuery every ``interval`` seconds.
+
+        This is ODMRP's soft-state route refresh; pair it with a
+        ``fg_timeout`` of 2-3x the interval for mesh-like robustness under
+        membership churn, mobility, or node failures.
+        """
+        if group in self._refresh_events:
+            return
+
+        def tick() -> None:
+            if group not in self._refresh_events:
+                return  # stopped
+            self.request_route(group)
+            self._refresh_events[group] = self.sim.schedule(interval, tick)
+
+        self._refresh_events[group] = self.sim.schedule(interval, tick)
+
+    def stop_periodic_refresh(self, group: int) -> None:
+        """Source: cancel the periodic refresh for ``group``."""
+        ev = self._refresh_events.pop(group, None)
+        if ev is not None:
+            self.sim.cancel(ev)
+
+    def send_data(self, group: int, seq: int = 0) -> DataPacket:
+        """Source: broadcast one data packet into the established tree."""
+        me = self.node_id
+        pkt = DataPacket(src=me, source=me, group=group, seq=seq)
+        self.data_seen.add(pkt.flow_key)
+        self.send(pkt)
+        return pkt
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def on_packet(self, packet: Packet) -> None:
+        if isinstance(packet, JoinQuery):
+            self._recv_join_query(packet)
+        elif isinstance(packet, JoinReply):
+            self._recv_join_reply(packet)
+        elif isinstance(packet, DataPacket):
+            self._recv_data(packet)
+        elif isinstance(packet, RouteError):
+            self._recv_route_error(packet)
+
+    # ------------------------------------------------------------------ #
+    # JoinQuery path
+    # ------------------------------------------------------------------ #
+    def _recv_join_query(self, jq: JoinQuery) -> None:
+        key = (jq.source, jq.group)
+        st = self.sessions.get(key)
+        if st is not None and jq.seq <= st.seq:
+            # duplicate of the current round, or stale round
+            self.sim.trace.emit(
+                self.sim.now, TraceKind.DROP, self.node_id, jq.ptype, "dup"
+            )
+            return
+        st = SessionState(
+            source=jq.source,
+            group=jq.group,
+            seq=jq.seq,
+            upstream=jq.src,
+            hop_count=jq.hop_count + 1,
+            path_profit=jq.path_profit,
+        )
+        self.sessions[key] = st
+        st.relay_profit = self.compute_relay_profit(jq.group, st.session)
+        if self.node.is_member(jq.group):
+            self._receiver_on_query(jq, st)
+        delay = self.query_forward_delay(jq, st)
+        self.sim.schedule(delay, self._forward_query, key, jq.seq)
+
+    def _forward_query(self, key: GroupKey, seq: int) -> None:
+        st = self.sessions.get(key)
+        if st is None or st.seq != seq or st.query_forwarded:
+            return
+        st.query_forwarded = True
+        out = JoinQuery(
+            src=self.node_id,
+            source=st.source,
+            group=st.group,
+            seq=st.seq,
+            hop_count=st.hop_count,
+            path_profit=st.path_profit + st.relay_profit,
+        )
+        self.stats["queries_forwarded"] += 1
+        self.send(out)
+
+    # ------------------------------------------------------------------ #
+    # JoinReply path
+    # ------------------------------------------------------------------ #
+    def _recv_join_reply(self, jr: JoinReply) -> None:
+        key = (jr.source, jr.group)
+        st = self.sessions.get(key)
+        if st is None or st.seq != jr.seq:
+            # we never saw this round's JoinQuery (or it's stale)
+            self.sim.trace.emit(
+                self.sim.now, TraceKind.DROP, self.node_id, jr.ptype, "no-session"
+            )
+            return
+        if jr.nexthop == self.node_id:
+            self._reply_as_nexthop(jr, st)
+        else:
+            self._reply_overheard(jr, st)
+
+    def _reply_as_nexthop(self, jr: JoinReply, st: SessionState) -> None:
+        """Default (ODMRP) next-hop behaviour: join the forwarding group once."""
+        if jr.receiver in st.acted_nexthop_for:
+            return
+        st.acted_nexthop_for.add(jr.receiver)
+        if self.node_id == st.source:
+            self.connected_receivers.add(jr.receiver)
+            return
+        if st.is_forwarder:
+            return  # route to the source already confirmed through us
+        self._become_forwarder(st)
+        self._forward_reply(jr, st)
+
+    def _reply_overheard(self, jr: JoinReply, st: SessionState) -> None:
+        """Default: baselines ignore replies not addressed to them."""
+
+    def _become_forwarder(self, st: SessionState) -> None:
+        st.is_forwarder = True
+        if self.fg_timeout is not None:
+            self._fg_until[(st.source, st.group)] = self.sim.now + self.fg_timeout
+        self.sim.trace.emit(
+            self.sim.now, TraceKind.MARK, self.node_id, "Forwarder", st.session
+        )
+
+    def _forward_reply(self, jr: JoinReply, st: SessionState) -> None:
+        if st.upstream is None:  # pragma: no cover - source handled earlier
+            return
+        out = JoinReply(
+            src=self.node_id,
+            dst=st.upstream,  # link-layer unicast: ACK-protected, overheard
+            nexthop=st.upstream,
+            receiver=jr.receiver,
+            source=st.source,
+            group=st.group,
+            seq=st.seq,
+        )
+        self.stats["replies_forwarded"] += 1
+        self.sim.schedule(float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out)
+
+    def _originate_reply(self, st: SessionState) -> None:
+        """Receiver: send our own JoinReply up the reverse path."""
+        if st.replied or st.upstream is None:
+            return
+        st.replied = True
+        st.covered = True
+        out = JoinReply(
+            src=self.node_id,
+            dst=st.upstream,  # link-layer unicast: ACK-protected, overheard
+            nexthop=st.upstream,
+            receiver=self.node_id,
+            source=st.source,
+            group=st.group,
+            seq=st.seq,
+        )
+        self.stats["replies_originated"] += 1
+        self.sim.schedule(float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out)
+
+    # ------------------------------------------------------------------ #
+    # data path
+    # ------------------------------------------------------------------ #
+    def _recv_data(self, pkt: DataPacket) -> None:
+        key = pkt.flow_key
+        if key in self.data_seen:
+            self.sim.trace.emit(
+                self.sim.now, TraceKind.DROP, self.node_id, pkt.ptype, "dup"
+            )
+            return
+        self.data_seen.add(key)
+        self.last_data_from[(pkt.source, pkt.group)] = pkt.src
+        if self.node.is_member(pkt.group) and key not in self.delivered:
+            self.delivered.add(key)
+            self.sim.trace.emit(self.sim.now, TraceKind.DELIVER, self.node_id, pkt.ptype, key)
+        st = self.sessions.get((pkt.source, pkt.group))
+        soft = self._fg_until.get((pkt.source, pkt.group), float("-inf")) > self.sim.now
+        if (st is not None and st.is_forwarder) or soft:
+            fwd = pkt.clone_for_forwarding(self.node_id)
+            self.stats["data_forwarded"] += 1
+            self.sim.schedule(float(self._rng().uniform(0.0, self.data_jitter)), self.send, fwd)
+
+    # ------------------------------------------------------------------ #
+    # route recovery (Sec. IV-D)
+    # ------------------------------------------------------------------ #
+    def report_route_failure(self, source: int, group: int, failed_node: int = -1) -> None:
+        """Receiver: flood a RouteError asking the source to rebuild."""
+        st = self.sessions.get((source, group))
+        seq = st.seq if st is not None else 0
+        pkt = RouteError(
+            src=self.node_id,
+            receiver=self.node_id,
+            source=source,
+            group=group,
+            seq=seq,
+            failed_node=failed_node,
+        )
+        self._route_errors_seen.add((pkt.receiver, pkt.source, pkt.group, pkt.seq))
+        self.stats["route_errors_sent"] += 1
+        self.send(pkt)
+
+    def _recv_route_error(self, pkt: RouteError) -> None:
+        key = (pkt.receiver, pkt.source, pkt.group, pkt.seq)
+        if key in self._route_errors_seen:
+            return
+        self._route_errors_seen.add(key)
+        if self.node_id == pkt.source:
+            # Rebuild with a fresh sequence number after a short debounce.
+            self.sim.schedule(
+                float(self._rng().uniform(0.0, self.query_jitter)),
+                self.request_route,
+                pkt.group,
+            )
+            return
+        fwd = pkt.clone_for_forwarding(self.node_id)
+        self.sim.schedule(float(self._rng().uniform(0.0, self.query_jitter)), self.send, fwd)
+
+    def check_route_health(self, source: int, group: int) -> bool:
+        """Is the neighbor we last got data from still alive in our table?
+
+        Intended to be called by receivers while HELLO maintenance runs:
+        returns False (and sends a RouteError) when the serving forwarder's
+        neighbor-table entry has expired.
+        """
+        serving = self.last_data_from.get((source, group))
+        if serving is None:
+            return True
+        if serving in self.node.neighbor_table:
+            return True
+        self.report_route_failure(source, group, failed_node=serving)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+    def compute_relay_profit(self, group: int, session: Session) -> int:
+        """RelayProfit at JoinQuery arrival; baselines don't use it."""
+        return 0
+
+    def query_forward_delay(self, jq: JoinQuery, st: SessionState) -> float:
+        """How long to defer the JoinQuery rebroadcast (ODMRP: small jitter)."""
+        return float(self._rng().uniform(0.0, self.query_jitter))
+
+    def _receiver_on_query(self, jq: JoinQuery, st: SessionState) -> None:
+        """Receiver behaviour on first JoinQuery (ODMRP: always reply)."""
+        st.covered = True
+        self.sim.trace.emit(
+            self.sim.now, TraceKind.MARK, self.node_id, "Covered", st.session
+        )
+        self._originate_reply(st)

@@ -1,0 +1,194 @@
+"""GMR-style stateless geographic multicast (related work, family 3).
+
+The paper's Related Work surveys four multicast families; the third is
+*stateless* multicast, exemplified by GMR [Sanchez, Ruiz, SECON'06,
+ref. 14]: no tree or mesh state is maintained — instead every data packet
+carries its destination set, and each forwarder geographically partitions
+that set among selected neighbors.  The assumptions the paper lists:
+"each node knows its own geographical location and the source node knows
+the locations of all the multicast receivers" (positions of neighbors come
+from position-carrying HELLOs).
+
+At each hop this implementation:
+
+1. drops destinations already served (or that are ourselves);
+2. assigns every remaining destination to the neighbor making the *most
+   geographic progress* toward it, then merges destinations sharing a
+   neighbor into one assignment — deciding "when the message should be
+   replicated/split into different packets", which the paper calls the
+   most challenging problem of the geographic approach;
+3. broadcasts once with the per-neighbor destination assignments in the
+   header; each selected neighbor recurses on its assigned subset.
+
+Fidelity note: full GMR selects relays by minimising *cost over
+progress* (fewer relays per unit progress) and escapes local minima with
+perimeter routing.  The cost-over-progress set selection without the
+perimeter fallback is unsafe — it can hand a destination to a relay with
+near-zero progress that then dead-ends — so this simplified variant uses
+the per-destination max-progress rule (monotone distance decrease, the
+classical greedy-routing guarantee on dense deployments) and omits
+perimeter recovery entirely; packets that hit a void are dropped and
+counted in ``stats["stuck"]``, a gap the protocol comparison is meant to
+show.  Counting: one broadcast per forwarding node, like the other
+protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import hypot
+from typing import ClassVar, Dict, List, Optional, Set, Tuple
+
+from repro.net.agent import Agent
+from repro.net.packet import FIELD_BITS, Packet
+from repro.sim.trace import TraceKind
+
+__all__ = ["GeoDataPacket", "GmrAgent"]
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class GeoDataPacket(Packet):
+    """Data packet carrying its remaining destinations and their positions.
+
+    ``assignments`` maps a selected next-hop neighbor to the destination
+    ids it is responsible for; receivers of the broadcast not listed
+    simply drop the packet.
+    """
+
+    source: int = 0
+    group: int = 0
+    seq: int = 0
+    #: destination id -> position (remaining, from this hop's view)
+    destinations: Dict[int, Position] = field(default_factory=dict)
+    #: next-hop id -> destination ids it must serve
+    assignments: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    n_fields: ClassVar[int] = 3
+    payload_bits: ClassVar[int] = 512
+
+    def size_bits(self) -> int:
+        # each carried destination: id + 2 coordinates; each assignment: id
+        extra = FIELD_BITS * (3 * len(self.destinations) + len(self.assignments))
+        return super().size_bits() + extra
+
+    @property
+    def flow_key(self) -> tuple:
+        return (self.source, self.group, self.seq)
+
+
+def _dist(a: Position, b: Position) -> float:
+    return hypot(a[0] - b[0], a[1] - b[1])
+
+
+class GmrAgent(Agent):
+    """Stateless geographic multicast forwarder.
+
+    Requires neighbor positions (position-carrying HELLOs or
+    ``bootstrap_neighbor_tables(with_positions=True)``).
+    """
+
+    handled_packets = (GeoDataPacket,)
+
+    protocol_name = "GMR"
+
+    def __init__(self, forward_jitter: float = 5e-3) -> None:
+        super().__init__()
+        self.forward_jitter = forward_jitter
+        self.seen: Set[tuple] = set()
+        self.delivered: Set[tuple] = set()
+        self.stats: Dict[str, int] = {"forwards": 0, "splits": 0, "stuck": 0}
+
+    # ------------------------------------------------------------------ #
+    # source API
+    # ------------------------------------------------------------------ #
+    def multicast(self, group: int, destinations: Dict[int, Position], seq: int = 0) -> None:
+        """Send one packet to ``destinations`` (id -> position)."""
+        pkt = GeoDataPacket(
+            src=self.node_id,
+            source=self.node_id,
+            group=group,
+            seq=seq,
+            destinations=dict(destinations),
+        )
+        if pkt.flow_key in self.seen:
+            return  # already sent this flow
+        self.seen.add(pkt.flow_key)
+        self._forward(pkt, dict(destinations))
+
+    # ------------------------------------------------------------------ #
+    # forwarding
+    # ------------------------------------------------------------------ #
+    def on_packet(self, packet: GeoDataPacket) -> None:
+        me = self.node_id
+        mine = packet.assignments.get(me)
+        key = packet.flow_key
+        if me in packet.destinations and key not in self.delivered:
+            self.delivered.add(key)
+            self.sim.trace.emit(self.sim.now, TraceKind.DELIVER, me, packet.ptype, key)
+        if mine is None:
+            return  # overheard, not selected as a relay
+        if key in self.seen:
+            return
+        self.seen.add(key)
+        remaining = {
+            d: packet.destinations[d]
+            for d in mine
+            if d != me and d in packet.destinations
+        }
+        if remaining:
+            rng = self.sim.rng.stream("gmr", me)
+            self.sim.schedule(
+                float(rng.uniform(0.0, self.forward_jitter)), self._forward, packet, remaining
+            )
+
+    def _forward(self, packet: GeoDataPacket, destinations: Dict[int, Position]) -> None:
+        """Per-destination max-progress assignment + one broadcast."""
+        me_pos = self.node.position
+        nbr_pos = self.node.neighbor_table.positions_known()
+        if not nbr_pos or not destinations:
+            return
+
+        # direct neighbors among the destinations are served by this very
+        # broadcast: assign each to itself (empty onward set)
+        assignments: Dict[int, List[int]] = {}
+        far: Dict[int, Position] = {}
+        for d, pos in destinations.items():
+            if d in nbr_pos:
+                assignments.setdefault(d, [])  # neighbor hears the broadcast
+            else:
+                far[d] = pos
+
+        # every far destination goes to the neighbor with maximum progress;
+        # destinations sharing a neighbor are merged (split happens exactly
+        # when their best relays diverge)
+        chosen: Dict[int, List[int]] = {}
+        for d, dpos in far.items():
+            best_nbr: Optional[int] = None
+            best_gain = 1e-9
+            for nbr, npos in nbr_pos.items():
+                gain = _dist(me_pos, dpos) - _dist(npos, dpos)
+                if gain > best_gain:
+                    best_gain, best_nbr = gain, nbr
+            if best_nbr is None:
+                # local minimum: no neighbor makes progress (a void)
+                self.stats["stuck"] += 1
+                continue
+            chosen.setdefault(best_nbr, []).append(d)
+
+        assignments.update(chosen)
+        if not assignments:
+            return
+        if len(chosen) > 1:
+            self.stats["splits"] += 1
+        out = GeoDataPacket(
+            src=self.node_id,
+            source=packet.source,
+            group=packet.group,
+            seq=packet.seq,
+            destinations=dict(destinations),
+            assignments={k: tuple(v) for k, v in assignments.items()},
+        )
+        self.stats["forwards"] += 1
+        self.send(out)

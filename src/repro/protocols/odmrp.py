@@ -1,0 +1,28 @@
+"""ODMRP — On-Demand Multicast Routing Protocol [Lee, Su, Gerla 2002].
+
+The mesh-based baseline the paper compares against (ref. [10]).  In our
+single-source-per-group setting the forwarding group is exactly the union
+of the reverse paths the JoinReplies travel, which is what the shared base
+class implements.  ODMRP-specific behaviour is minimal:
+
+* JoinQueries are re-broadcast after a *small uniform jitter* only (no
+  bias of any kind) — the first-arriving copy therefore tracks the
+  minimum-latency (≈ shortest) path;
+* every receiver answers the first JoinQuery (no suppression);
+* overheard JoinReplies are ignored (no overhearing optimisations).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import OnDemandMulticastAgent
+
+__all__ = ["OdmrpAgent"]
+
+
+class OdmrpAgent(OnDemandMulticastAgent):
+    """Plain ODMRP: the default hooks of the base class are the protocol."""
+
+    protocol_name = "ODMRP"
+
+    def __init__(self, query_jitter: float = 2e-3, **kwargs) -> None:
+        super().__init__(query_jitter=query_jitter, **kwargs)

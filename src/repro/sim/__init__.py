@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic discrete-event engine in the spirit of ns-2's
+scheduler (substitution S2 in DESIGN.md).  The kernel is intentionally
+small: a stable binary-heap event queue (:mod:`repro.sim.events`), a
+:class:`~repro.sim.kernel.Simulator` facade (:mod:`repro.sim.kernel`),
+named reproducible random streams (:mod:`repro.sim.rng`) and a structured
+trace recorder (:mod:`repro.sim.trace`).
+
+Determinism contract
+--------------------
+Two runs with the same master seed and the same sequence of ``schedule``
+calls produce identical event orderings: ties in time are broken by a
+monotone sequence number, and all randomness flows through named
+:class:`~repro.sim.rng.RngRegistry` streams.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceKind, TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RngRegistry",
+    "TraceKind",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,131 @@
+"""Event objects and the pending-event queue.
+
+The queue is a binary heap ordered by ``(time, priority, seq)``.  ``seq``
+is a monotonically increasing counter assigned at scheduling time, which
+makes ordering *stable*: two events scheduled for the same instant fire in
+the order they were scheduled.  Stability is what makes whole-simulation
+replays bit-reproducible (see the determinism contract in
+:mod:`repro.sim`).
+
+Cancellation is *lazy*: cancelled events stay in the heap, flagged, and are
+skipped on pop.  This is the standard trick to keep both ``schedule`` and
+``cancel`` at ``O(log n)`` / ``O(1)`` without a secondary index.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=False)
+class Event:
+    """A pending callback at a simulated instant.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time (seconds) at which the event fires.
+    priority:
+        Secondary ordering key; lower fires first among same-time events.
+        Protocol code rarely needs this — the default of 0 keeps FIFO
+        ordering via ``seq``.
+    seq:
+        Scheduling sequence number, assigned by the queue.  Ties in
+        ``(time, priority)`` are broken by ``seq`` (FIFO).
+    fn:
+        The callback. Called as ``fn(*args)``.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Optional[Callable[..., Any]]
+    args: tuple = ()
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it.  Idempotent."""
+        self.cancelled = True
+        # Drop references promptly: cancelled events may linger in the heap
+        # until their timestamp is reached.
+        self.fn = None
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still going to fire."""
+        return not self.cancelled
+
+    def _key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+
+class EventQueue:
+    """Stable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time`` and return the event."""
+        if time != time:  # NaN guard: a NaN timestamp silently corrupts the heap
+            raise ValueError("event time is NaN")
+        ev = Event(time=time, priority=priority, seq=self._seq, fn=fn, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a previously pushed event.  Safe to call twice."""
+        if not ev.cancelled:
+            ev.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue has no live events.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                self._live -= 1
+                return ev
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,172 @@
+"""The simulator facade: clock + event queue + run loop.
+
+Usage::
+
+    sim = Simulator(seed=7)
+    sim.schedule(1.5, print, "fires at t=1.5")
+    sim.run()            # drain the queue
+    assert sim.now == 1.5
+
+The kernel knows nothing about radios or protocols; higher layers schedule
+plain callbacks.  ``Simulator`` also owns the per-run
+:class:`~repro.sim.rng.RngRegistry` and :class:`~repro.sim.trace.TraceRecorder`
+so that a single object carries everything one Monte-Carlo run needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, running twice, …)."""
+
+
+class Simulator:
+    """Discrete-event simulator with a monotone clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for every random stream of this run (see
+        :class:`~repro.sim.rng.RngRegistry`).
+    trace:
+        Optional externally supplied recorder; by default a fresh one is
+        created so each run's trace is isolated.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceRecorder()
+        #: number of events executed so far (for profiling / sanity checks)
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still in the queue."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, fn, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        return self._queue.push(time, fn, args, priority)
+
+    def cancel(self, ev: Event) -> None:
+        """Cancel a pending event (no-op if already cancelled or fired)."""
+        self._queue.cancel(ev)
+
+    # ------------------------------------------------------------------ #
+    # run loop
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire after ``until``
+            and advance the clock exactly to ``until``.
+        max_events:
+            Safety valve for runaway simulations; raises
+            :class:`SimulationError` when exceeded.
+
+        Returns
+        -------
+        float
+            The clock value when the run loop returned.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                t = self._queue.peek_time()
+                assert t is not None
+                if until is not None and t > until:
+                    break
+                ev = self._queue.pop()
+                if ev.time < self._now:  # pragma: no cover - queue invariant
+                    raise SimulationError("event queue produced a past event")
+                self._now = ev.time
+                fn, args = ev.fn, ev.args
+                assert fn is not None
+                fn(*args)
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns False if the queue was empty."""
+        if not self._queue:
+            return False
+        ev = self._queue.pop()
+        self._now = ev.time
+        fn, args = ev.fn, ev.args
+        assert fn is not None
+        fn(*args)
+        self.events_executed += 1
+        return True
+
+    def stop(self) -> None:
+        """Request the run loop to return after the current event."""
+        self._stopped = True
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero.
+
+        Random streams and the trace are *not* reset; construct a fresh
+        :class:`Simulator` for an independent run.
+        """
+        self._queue.clear()
+        self._now = 0.0
+        self._stopped = False

@@ -1,0 +1,119 @@
+"""Structured event tracing.
+
+The metrics layer (:mod:`repro.metrics`) never inspects protocol internals;
+it consumes the trace, exactly as one would post-process an ns-2 trace
+file.  Records are cheap tuples; high-volume kinds can be disabled with
+``TraceRecorder(enabled_kinds=...)`` when only counters are needed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, Iterator, Optional
+
+__all__ = ["TraceKind", "TraceRecord", "TraceRecorder"]
+
+
+class TraceKind(str, Enum):
+    """Kinds of trace records emitted by the stack."""
+
+    #: MAC handed a frame to the channel (one radio transmission).
+    TX = "tx"
+    #: A frame was successfully received by a node.
+    RX = "rx"
+    #: A frame was lost at a receiver due to overlapping transmissions.
+    COLLISION = "collision"
+    #: A frame/packet was dropped (duplicate, TTL, queue overflow, …).
+    DROP = "drop"
+    #: Protocol state change (forwarder marked, receiver covered, …).
+    MARK = "mark"
+    #: Application-level delivery of a data payload to a multicast receiver.
+    DELIVER = "deliver"
+    #: Free-form protocol annotation.
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line.
+
+    Attributes
+    ----------
+    time: simulated time of the event.
+    kind: the :class:`TraceKind`.
+    node: node id the record concerns.
+    packet_type: e.g. ``"JoinQuery"``, ``"Data"``, ``"Hello"``; None for
+        non-packet records such as MARK.
+    detail: record-specific payload (packet id, reason string, …).
+    """
+
+    time: float
+    kind: TraceKind
+    node: int
+    packet_type: Optional[str] = None
+    detail: Any = None
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` objects and running counters.
+
+    Counters (``counts``) are always maintained even for disabled kinds, so
+    cheap experiments can turn off record storage without losing totals.
+    """
+
+    def __init__(self, enabled_kinds: Optional[Iterable[TraceKind]] = None) -> None:
+        self.records: list[TraceRecord] = []
+        self.counts: Counter = Counter()
+        self._enabled = set(enabled_kinds) if enabled_kinds is not None else None
+
+    def emit(
+        self,
+        time: float,
+        kind: TraceKind,
+        node: int,
+        packet_type: Optional[str] = None,
+        detail: Any = None,
+    ) -> None:
+        """Record one event."""
+        self.counts[(kind, packet_type)] += 1
+        if self._enabled is None or kind in self._enabled:
+            self.records.append(TraceRecord(time, kind, node, packet_type, detail))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def count(self, kind: TraceKind, packet_type: Optional[str] = None) -> int:
+        """Total records of ``kind`` (optionally restricted to a packet type)."""
+        if packet_type is not None:
+            return self.counts[(kind, packet_type)]
+        return sum(v for (k, _pt), v in self.counts.items() if k == kind)
+
+    def filter(
+        self,
+        kind: Optional[TraceKind] = None,
+        packet_type: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> Iterator[TraceRecord]:
+        """Iterate stored records matching all given criteria."""
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if packet_type is not None and rec.packet_type != packet_type:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            yield rec
+
+    def nodes_with(self, kind: TraceKind, packet_type: Optional[str] = None) -> set[int]:
+        """Set of node ids having at least one matching record."""
+        return {r.node for r in self.filter(kind=kind, packet_type=packet_type)}
+
+    def clear(self) -> None:
+        """Drop all records and counters."""
+        self.records.clear()
+        self.counts.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,87 @@
+"""ns-2-style trace file export/import.
+
+ns-2 workflows post-process plain-text trace files; this module gives the
+same interop surface: dump a :class:`~repro.sim.trace.TraceRecorder` to a
+columnar text format and parse it back (or parse a file produced by
+another tool following the same format).
+
+Format — one record per line, space-separated::
+
+    <kind> <time> <node> <packet_type|-> <detail-json|->
+
+e.g. ``tx 1.00234 17 DataPacket 42``.  Timestamps use Python's shortest
+round-trip float repr so traces reload bit-exactly; details are JSON so
+tuples (session keys, flow keys) round-trip; ``-`` marks absent fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, TextIO, Union
+
+from repro.sim.trace import TraceKind, TraceRecord, TraceRecorder
+
+__all__ = ["write_trace", "read_trace", "format_record", "parse_record"]
+
+
+def format_record(rec: TraceRecord) -> str:
+    """One trace record as a text line."""
+    ptype = rec.packet_type if rec.packet_type is not None else "-"
+    if rec.detail is None:
+        detail = "-"
+    else:
+        detail = json.dumps(rec.detail, separators=(",", ":"))
+    return f"{rec.kind.value} {float(rec.time)!r} {rec.node} {ptype} {detail}"
+
+
+def parse_record(line: str) -> TraceRecord:
+    """Inverse of :func:`format_record`.
+
+    JSON arrays come back as tuples (matching the in-memory convention
+    for session/flow keys).
+    """
+    parts = line.strip().split(" ", 4)
+    if len(parts) != 5:
+        raise ValueError(f"malformed trace line: {line!r}")
+    kind_s, time_s, node_s, ptype_s, detail_s = parts
+    kind = TraceKind(kind_s)
+    ptype = None if ptype_s == "-" else ptype_s
+    if detail_s == "-":
+        detail = None
+    else:
+        detail = json.loads(detail_s)
+        if isinstance(detail, list):
+            detail = tuple(detail)
+    return TraceRecord(float(time_s), kind, int(node_s), ptype, detail)
+
+
+def write_trace(trace: TraceRecorder, path: Union[str, Path, TextIO]) -> int:
+    """Write all stored records; returns the number written."""
+    records = trace.records
+    if hasattr(path, "write"):
+        for rec in records:
+            path.write(format_record(rec) + "\n")
+        return len(records)
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w") as fh:
+        for rec in records:
+            fh.write(format_record(rec) + "\n")
+    return len(records)
+
+
+def read_trace(path: Union[str, Path, TextIO]) -> TraceRecorder:
+    """Load a trace file into a fresh recorder (records + counters)."""
+    if hasattr(path, "read"):
+        lines: Iterable[str] = path
+    else:
+        lines = Path(path).read_text().splitlines()
+    trace = TraceRecorder()
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rec = parse_record(line)
+        trace.emit(rec.time, rec.kind, rec.node, rec.packet_type, rec.detail)
+    return trace

@@ -1,0 +1,47 @@
+"""Shortest-path multicast tree (Fig. 1a).
+
+Union of hop-count shortest paths from the source to every receiver —
+what a latency-first protocol converges to.  Fig. 1 uses it as the
+strawman: minimum per-receiver hop counts, but neither minimum edges nor
+minimum transmissions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+__all__ = ["shortest_path_tree"]
+
+
+def shortest_path_tree(g: nx.Graph, source: int, receivers: Iterable[int]) -> nx.Graph:
+    """Union of BFS shortest paths from ``source`` to each receiver.
+
+    Returns the tree as an undirected graph (a subgraph of ``g``).  Ties
+    are broken by BFS parent order, so the result is deterministic for a
+    given graph node ordering.
+
+    Raises
+    ------
+    nx.NetworkXNoPath
+        If some receiver is unreachable from the source.
+    """
+    recvs = list(receivers)
+    parents = dict(nx.bfs_predecessors(g, source))
+    tree = nx.Graph()
+    tree.add_node(source)
+    # nodes whose path to the source is already materialised in the tree
+    done = {source}
+    for r in recvs:
+        if r == source:
+            continue
+        if r not in parents:
+            raise nx.NetworkXNoPath(f"receiver {r} unreachable from source {source}")
+        v = r
+        while v not in done:
+            p = parents[v]
+            tree.add_edge(p, v)
+            done.add(v)
+            v = p
+    return tree

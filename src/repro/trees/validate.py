@@ -1,0 +1,104 @@
+"""Feasibility and cost accounting for the MTMR problem (Sec. III).
+
+Formalisation used throughout this repo: a multicast solution for
+``(G, source, receivers)`` is a transmitter set ``T`` with
+
+1. ``source in T``;
+2. the induced subgraph ``G[T]`` is connected (every transmitter hears the
+   packet from another transmitter, starting at the source);
+3. every receiver is in ``T`` or adjacent to some node of ``T`` (leaves
+   receive for free thanks to the wireless broadcast advantage).
+
+Cost = ``|T|`` transmissions.  Minimising ``|T|`` is NP-complete (the
+paper reduces from minimum set cover), hence the brute-force oracle here
+is exponential and restricted to small instances — it exists so tests can
+check the heuristics against ground truth.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Optional, Set
+
+import networkx as nx
+
+__all__ = [
+    "is_valid_transmitter_set",
+    "tree_transmission_count",
+    "transmitters_of_tree",
+    "brute_force_min_transmitters",
+    "coverage_of",
+]
+
+
+def coverage_of(g: nx.Graph, transmitters: Set[int]) -> Set[int]:
+    """All nodes that hear a broadcast flood over ``transmitters``."""
+    covered = set(transmitters)
+    for t in transmitters:
+        covered.update(g.neighbors(t))
+    return covered
+
+
+def is_valid_transmitter_set(
+    g: nx.Graph,
+    transmitters: Iterable[int],
+    source: int,
+    receivers: Iterable[int],
+) -> bool:
+    """Check conditions 1-3 of the module docstring."""
+    t = set(transmitters)
+    r = set(receivers)
+    if source not in t:
+        return False
+    if not t <= set(g.nodes):
+        return False
+    sub = g.subgraph(t)
+    if len(t) > 1 and not nx.is_connected(sub):
+        return False
+    return r <= coverage_of(g, t)
+
+
+def transmitters_of_tree(tree: nx.Graph, source: int) -> Set[int]:
+    """Transmitting nodes of an explicit multicast tree.
+
+    In a tree rooted at ``source``, every non-leaf node transmits; the
+    root always transmits (it originates the packet).
+    """
+    if tree.number_of_nodes() == 0:
+        return set()
+    if source not in tree:
+        raise ValueError(f"source {source} not in tree")
+    out = {source}
+    for v in tree.nodes:
+        if v != source and tree.degree(v) > 1:
+            out.add(v)
+    return out
+
+
+def tree_transmission_count(tree: nx.Graph, source: int) -> int:
+    """Number of transmissions a tree costs under the broadcast advantage."""
+    return len(transmitters_of_tree(tree, source))
+
+
+def brute_force_min_transmitters(
+    g: nx.Graph,
+    source: int,
+    receivers: Iterable[int],
+    max_nodes: int = 16,
+) -> Optional[Set[int]]:
+    """Exact minimum transmitter set by exhaustive search (test oracle).
+
+    Only for tiny graphs: complexity is ``O(2^n)``.  Returns None if no
+    feasible set exists (some receiver unreachable).
+    """
+    nodes = list(g.nodes)
+    if len(nodes) > max_nodes:
+        raise ValueError(f"graph too large for brute force ({len(nodes)} > {max_nodes})")
+    r = set(receivers)
+    others = [v for v in nodes if v != source]
+    for k in range(0, len(others) + 1):
+        for extra in combinations(others, k):
+            t = {source, *extra}
+            if is_valid_transmitter_set(g, t, source, r):
+                return t
+    return None

@@ -1,0 +1,122 @@
+"""Plain-text rendering of deployments and result series.
+
+The paper's Figs. 9-10 are field scatter plots (hollow circles = sensor
+nodes, crosses = receivers, filled circles = forwarders); ``render_field``
+draws the same thing in ASCII:
+
+    ``.`` idle node  ``R`` receiver  ``#`` forwarder (extra node)
+    ``@`` forwarding receiver  ``S`` source
+
+``render_line_chart`` draws the Figs. 5-6 series and ``render_surface``
+the Figs. 7-8 (N, w) tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["render_field", "render_line_chart", "render_surface"]
+
+
+def render_field(
+    positions: np.ndarray,
+    side: float,
+    source: int,
+    receivers: Iterable[int],
+    transmitters: Iterable[int],
+    width: int = 50,
+    height: int = 25,
+) -> str:
+    """ASCII scatter of one multicast round (Figs. 9-10 style)."""
+    pos = np.asarray(positions, dtype=float)
+    rset, tset = set(receivers), set(transmitters)
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def cell(p) -> tuple[int, int]:
+        cx = min(int(p[0] / side * (width - 1)), width - 1)
+        cy = min(int(p[1] / side * (height - 1)), height - 1)
+        return cy, cx
+
+    rank = {" ": 0, ".": 1, "R": 2, "#": 3, "@": 4, "S": 5}
+    for i, p in enumerate(pos):
+        if i == source:
+            ch = "S"
+        elif i in rset and i in tset:
+            ch = "@"
+        elif i in tset:
+            ch = "#"
+        elif i in rset:
+            ch = "R"
+        else:
+            ch = "."
+        cy, cx = cell(p)
+        if rank[ch] > rank[grid[height - 1 - cy][cx]]:
+            grid[height - 1 - cy][cx] = ch
+    legend = "S=source  R=receiver  #=forwarder  @=forwarding receiver  .=node"
+    return "\n".join("".join(row) for row in grid) + "\n" + legend
+
+
+def render_line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Multi-series ASCII line chart (markers only, shared axes)."""
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals or not xs:
+        return "(no data)"
+    ymin, ymax = min(all_vals), max(all_vals)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    canvas = [[" " for _ in range(width)] for _ in range(height)]
+    markers = "ox+*sd"
+    for k, (label, vals) in enumerate(series.items()):
+        m = markers[k % len(markers)]
+        for x, y in zip(xs, vals):
+            cx = int((x - xmin) / (xmax - xmin) * (width - 1))
+            cy = int((y - ymin) / (ymax - ymin) * (height - 1))
+            canvas[height - 1 - cy][cx] = m
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{ymax:8.2f} |"
+        elif i == height - 1:
+            label = f"{ymin:8.2f} |"
+        else:
+            label = " " * 9 + "|"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{xmin:<10.3g}{' ' * max(width - 22, 1)}{xmax:>10.3g}")
+    key = "   ".join(f"{markers[k % len(markers)]}={label}" for k, label in enumerate(series))
+    lines.append(key + (f"   [{ylabel}]" if ylabel else ""))
+    return "\n".join(lines)
+
+
+def render_surface(
+    row_labels: Sequence[float],
+    col_labels: Sequence[float],
+    values: np.ndarray,
+    title: str = "",
+    row_name: str = "N",
+    col_name: str = "w",
+) -> str:
+    """(N, w) table in the shape of the paper's Figs. 7-8 surfaces."""
+    vals = np.asarray(values, dtype=float)
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{row_name}\\{col_name:<6}" + "".join(f"{c:>9.3g}" for c in col_labels)
+    lines.append(header)
+    for r, row in zip(row_labels, vals):
+        lines.append(f"{r:<8.3g}" + "".join(f"{v:9.2f}" for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+matplotlib is unavailable offline, so these helpers emit standalone SVG
+by hand: multi-series line charts (Figs. 5-6 panels), field scatter plots
+(Figs. 9-10) and (N, w) heatmaps (Figs. 7-8).  The goal is honest,
+readable charts — axes, ticks, legends — not a plotting library.
+
+All functions return the SVG document as a string; use
+:func:`save_svg` to write it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart_svg", "field_svg", "surface_svg", "save_svg"]
+
+#: qualitative palette (colorblind-safe Okabe-Ito subset)
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9")
+
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+def _esc(s: str) -> str:
+    return (
+        str(s).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round-ish tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10.0 ** np.floor(np.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = np.ceil(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-9:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _marker(shape: str, x: float, y: float, color: str, r: float = 3.5) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>'
+    if shape == "square":
+        return (
+            f'<rect x="{x - r:.1f}" y="{y - r:.1f}" width="{2 * r}" height="{2 * r}" '
+            f'fill="{color}"/>'
+        )
+    if shape == "diamond":
+        pts = f"{x},{y - r} {x + r},{y} {x},{y + r} {x - r},{y}"
+        return f'<polygon points="{pts}" fill="{color}"/>'
+    pts = f"{x},{y - r} {x + r},{y + r} {x - r},{y + r}"  # triangle
+    return f'<polygon points="{pts}" fill="{color}"/>'
+
+
+def line_chart_svg(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 560,
+    height: int = 380,
+) -> str:
+    """Multi-series line chart with markers, axes, ticks and a legend."""
+    ml, mr, mt, mb = 64, 16, 40, 78  # margins
+    pw, ph = width - ml - mr, height - mt - mb
+    all_y = [v for vals in series.values() for v in vals]
+    if not xs or not all_y:
+        return f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}"/>'
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    pad = 0.05 * (y_hi - y_lo or 1.0)
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    def X(x: float) -> float:
+        return ml + (x - x_lo) / (x_hi - x_lo) * pw
+
+    def Y(y: float) -> float:
+        return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" font-size="14" '
+            f'font-weight="bold">{_esc(title)}</text>'
+        )
+    # axes
+    parts.append(
+        f'<rect x="{ml}" y="{mt}" width="{pw}" height="{ph}" fill="none" '
+        f'stroke="#333" stroke-width="1"/>'
+    )
+    for t in _ticks(x_lo, x_hi):
+        if not (x_lo - 1e-9 <= t <= x_hi + 1e-9):
+            continue
+        parts.append(
+            f'<line x1="{X(t):.1f}" y1="{mt + ph}" x2="{X(t):.1f}" y2="{mt + ph + 5}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{X(t):.1f}" y="{mt + ph + 18}" text-anchor="middle">{t:g}</text>'
+        )
+    for t in _ticks(y_lo, y_hi):
+        if not (y_lo - 1e-9 <= t <= y_hi + 1e-9):
+            continue
+        parts.append(
+            f'<line x1="{ml - 5}" y1="{Y(t):.1f}" x2="{ml}" y2="{Y(t):.1f}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<line x1="{ml}" y1="{Y(t):.1f}" x2="{ml + pw}" y2="{Y(t):.1f}" '
+            f'stroke="#ddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{ml - 8}" y="{Y(t) + 4:.1f}" text-anchor="end">{t:g}</text>'
+        )
+    if xlabel:
+        parts.append(
+            f'<text x="{ml + pw / 2}" y="{mt + ph + 36}" text-anchor="middle">{_esc(xlabel)}</text>'
+        )
+    if ylabel:
+        parts.append(
+            f'<text x="16" y="{mt + ph / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {mt + ph / 2})">{_esc(ylabel)}</text>'
+        )
+    # series
+    for k, (label, vals) in enumerate(series.items()):
+        color = PALETTE[k % len(PALETTE)]
+        marker = _MARKERS[k % len(_MARKERS)]
+        pts = " ".join(f"{X(x):.1f},{Y(y):.1f}" for x, y in zip(xs, vals))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.6"/>'
+        )
+        for x, y in zip(xs, vals):
+            parts.append(_marker(marker, X(x), Y(y), color))
+    # legend (bottom row)
+    lx = ml
+    ly = height - 16
+    for k, label in enumerate(series):
+        color = PALETTE[k % len(PALETTE)]
+        parts.append(_marker(_MARKERS[k % len(_MARKERS)], lx + 5, ly - 4, color))
+        parts.append(f'<text x="{lx + 14}" y="{ly}">{_esc(label)}</text>')
+        lx += 14 + 8 * len(str(label)) + 24
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def field_svg(
+    positions: np.ndarray,
+    side: float,
+    source: int,
+    receivers: Iterable[int],
+    transmitters: Iterable[int],
+    title: str = "",
+    size: int = 420,
+) -> str:
+    """Figs. 9-10 style field scatter: nodes, receivers, forwarders, source."""
+    m = 30
+    pos = np.asarray(positions, dtype=float)
+    rset, tset = set(receivers), set(transmitters)
+
+    def P(p) -> tuple[float, float]:
+        x = m + p[0] / side * (size - 2 * m)
+        y = size - m - p[1] / side * (size - 2 * m)
+        return x, y
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size + 40}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{size}" height="{size + 40}" fill="white"/>',
+        f'<rect x="{m}" y="{m}" width="{size - 2 * m}" height="{size - 2 * m}" '
+        f'fill="none" stroke="#999"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{size / 2}" y="18" text-anchor="middle" font-weight="bold">{_esc(title)}</text>'
+        )
+    for i, p in enumerate(pos):
+        x, y = P(p)
+        if i == source:
+            parts.append(
+                f'<rect x="{x - 5}" y="{y - 5}" width="10" height="10" fill="#D55E00"/>'
+            )
+        elif i in rset and i in tset:
+            parts.append(f'<circle cx="{x}" cy="{y}" r="5" fill="#009E73"/>')
+            parts.append(
+                f'<path d="M{x - 4} {y - 4} L{x + 4} {y + 4} M{x - 4} {y + 4} L{x + 4} {y - 4}" '
+                f'stroke="white" stroke-width="1.4"/>'
+            )
+        elif i in tset:
+            parts.append(f'<circle cx="{x}" cy="{y}" r="4.5" fill="#111"/>')
+        elif i in rset:
+            parts.append(
+                f'<path d="M{x - 4} {y - 4} L{x + 4} {y + 4} M{x - 4} {y + 4} L{x + 4} {y - 4}" '
+                f'stroke="#CC0000" stroke-width="1.8"/>'
+            )
+        else:
+            parts.append(
+                f'<circle cx="{x}" cy="{y}" r="3" fill="none" stroke="#4477AA"/>'
+            )
+    parts.append(
+        f'<text x="{m}" y="{size + 20}">source ■  receiver ×  forwarder ●  '
+        f"forwarding receiver ⊗  node ○</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def surface_svg(
+    row_labels: Sequence[float],
+    col_labels: Sequence[float],
+    values: np.ndarray,
+    title: str = "",
+    row_name: str = "N",
+    col_name: str = "w",
+    cell: int = 64,
+) -> str:
+    """Figs. 7-8 style heatmap with value annotations."""
+    vals = np.asarray(values, dtype=float)
+    nr, nc = vals.shape
+    ml, mt = 60, 50
+    width = ml + nc * cell + 20
+    height = mt + nr * cell + 30
+    lo, hi = float(vals.min()), float(vals.max())
+    span = hi - lo or 1.0
+
+    def color(v: float) -> str:
+        # light (low) -> deep blue (high)
+        t = (v - lo) / span
+        r = int(247 - t * (247 - 33))
+        g = int(251 - t * (251 - 102))
+        b = int(255 - t * (255 - 172))
+        return f"rgb({r},{g},{b})"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" font-weight="bold">{_esc(title)}</text>'
+        )
+    parts.append(f'<text x="{ml - 10}" y="{mt - 12}" text-anchor="end">{_esc(row_name)}\\{_esc(col_name)}</text>')
+    for j, c in enumerate(col_labels):
+        parts.append(
+            f'<text x="{ml + j * cell + cell / 2}" y="{mt - 8}" text-anchor="middle">{c:g}</text>'
+        )
+    for i, r in enumerate(row_labels):
+        parts.append(
+            f'<text x="{ml - 10}" y="{mt + i * cell + cell / 2 + 4}" text-anchor="end">{r:g}</text>'
+        )
+        for j in range(nc):
+            v = vals[i, j]
+            x, y = ml + j * cell, mt + i * cell
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" '
+                f'fill="{color(v)}" stroke="#fff"/>'
+            )
+            txt_color = "#111" if (v - lo) / span < 0.6 else "#fff"
+            parts.append(
+                f'<text x="{x + cell / 2}" y="{y + cell / 2 + 4}" text-anchor="middle" '
+                f'fill="{txt_color}">{v:.1f}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str | Path) -> Path:
+    """Write an SVG document to disk; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(svg)
+    return p

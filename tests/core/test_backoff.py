@@ -1,0 +1,150 @@
+"""Unit + property tests for the biased backoff scheme (Eqs. 2-4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.backoff import BackoffParams, BiasedBackoff
+
+
+@pytest.fixture
+def bo():
+    return BiasedBackoff(BackoffParams(n=4.0, w=0.001))
+
+
+class TestEq2RelayDelay:
+    def test_monotone_decreasing(self, bo):
+        delays = [bo.relay_delay(rp) for rp in range(8)]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_exponential_halving(self, bo):
+        """Eq. (2)'s 2^(-RP) form: one more unit of RelayProfit halves it."""
+        assert bo.relay_delay(3) == pytest.approx(bo.relay_delay(2) / 2)
+
+    def test_zero_profit_value(self, bo):
+        assert bo.relay_delay(0) == pytest.approx(2.0 * 4.0 * 0.001)
+
+    def test_negative_rejected(self, bo):
+        with pytest.raises(ValueError):
+            bo.relay_delay(-1)
+
+
+class TestEq3PathScale:
+    def test_monotone_decreasing(self, bo):
+        scales = [bo.path_scale(pp) for pp in range(10)]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_hyperbolic_form(self, bo):
+        assert bo.path_scale(0) / bo.path_scale(3) == pytest.approx(7.0)
+
+    def test_fig3_collapse(self, bo):
+        """Fig. 3's mechanism: at PP=2 a node fires several times sooner
+        than a same-RP node at PP=0 — the factor reading of Eq. (3)."""
+        rng = np.random.default_rng(0)
+        d_b = [bo.delay(2, 0, False, rng) for _ in range(50)]
+        d_e = [bo.delay(2, 2, False, rng) for _ in range(50)]
+        assert np.mean(d_b) / np.mean(d_e) == pytest.approx(5.0, rel=0.15)
+
+    def test_fig3_bracket_bands(self, bo):
+        """The reconstructed constants reproduce the figure's brackets:
+        B (RP=2, PP=0, non-member) in [3w, 4w]; A (RP=1, PP=0, member) in
+        [4w, 5w] — so B always fires first despite A's member bonus."""
+        w = bo.params.w
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            d_b = bo.delay(2, 0, False, rng)
+            d_a = bo.delay(1, 0, True, rng)
+            assert 3 * w <= d_b <= 4 * w
+            assert 4 * w <= d_a <= 5 * w
+
+    def test_saturates_at_n(self, bo):
+        """"N is set to limit the backoff delay within a certain range":
+        the factor stops shrinking once PP reaches N."""
+        n = int(bo.params.n)
+        assert bo.path_scale(n) == bo.path_scale(n + 1) == bo.path_scale(n + 50)
+        assert bo.path_scale(n - 1) > bo.path_scale(n)
+
+    def test_negative_rejected(self, bo):
+        with pytest.raises(ValueError):
+            bo.path_scale(-2)
+
+
+class TestEq4Jitter:
+    def test_member_band_below_nonmember_band(self, bo):
+        """Fig. 2's bias: the two uniform bands do not overlap."""
+        m_lo, m_hi = bo.jitter_bounds(True)
+        n_lo, n_hi = bo.jitter_bounds(False)
+        assert (m_lo, m_hi) == (0.0, 0.001)
+        assert (n_lo, n_hi) == (0.001, 0.002)
+        assert m_hi <= n_lo
+
+    def test_equal_profits_member_always_earlier(self, bo):
+        """Fig. 2: with the same RP and PP, the member forwards first."""
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            dm = bo.delay(1, 1, True, rng)
+            dn = bo.delay(1, 1, False, rng)
+            assert dm < dn
+
+
+class TestDelayComposition:
+    @given(
+        rp=st.integers(min_value=0, max_value=20),
+        pp=st.integers(min_value=0, max_value=50),
+        member=st.booleans(),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_delay_bounded_property(self, rp, pp, member, seed):
+        """Property: every delay is positive and below max_delay()."""
+        bo = BiasedBackoff(BackoffParams(n=4.0, w=0.001))
+        d = bo.delay(rp, pp, member, np.random.default_rng(seed))
+        assert 0.0 < d <= bo.max_delay()
+
+    @given(
+        rp=st.integers(min_value=0, max_value=10),
+        pp=st.integers(min_value=0, max_value=10),
+        seed=st.integers(min_value=0, max_value=100),
+        member=st.booleans(),
+    )
+    def test_more_profit_never_hurts_property(self, rp, pp, seed, member):
+        """Property: the delay is monotone non-increasing in both profits
+        (for a fixed jitter draw)."""
+        bo = BiasedBackoff(BackoffParams(n=4.0, w=0.001))
+        base = bo.delay(rp, pp, member, np.random.default_rng(seed))
+        better_rp = bo.delay(rp + 1, pp, member, np.random.default_rng(seed))
+        better_pp = bo.delay(rp, pp + 1, member, np.random.default_rng(seed))
+        assert better_rp <= base
+        assert better_pp <= base
+
+    def test_scaling_with_w(self):
+        """Larger w amplifies everything proportionally (Figs. 7-8 knob)."""
+        lo = BiasedBackoff(BackoffParams(n=4.0, w=0.001))
+        hi = BiasedBackoff(BackoffParams(n=4.0, w=0.01))
+        assert hi.relay_delay(2) == pytest.approx(10 * lo.relay_delay(2))
+        assert hi.path_scale(3) == pytest.approx(lo.path_scale(3))  # pure factor
+
+    def test_scaling_with_n(self):
+        """Larger N widens the deterministic spread but not the jitter."""
+        lo = BiasedBackoff(BackoffParams(n=3.0, w=0.001))
+        hi = BiasedBackoff(BackoffParams(n=6.0, w=0.001))
+        spread_lo = lo.relay_delay(0) - lo.relay_delay(3)
+        spread_hi = hi.relay_delay(0) - hi.relay_delay(3)
+        assert spread_hi == pytest.approx(2 * spread_lo)
+        assert lo.jitter_bounds(False) == hi.jitter_bounds(False)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        BackoffParams(n=0.0, w=0.001)
+    with pytest.raises(ValueError):
+        BackoffParams(n=4.0, w=-1.0)
+
+
+def test_default_params_match_paper():
+    p = BackoffParams()
+    assert p.n == 4.0
+    assert p.w == 0.001
+
+
+def test_max_delay_is_worst_case(bo):
+    assert bo.max_delay() == pytest.approx(bo.relay_delay(0) + 2 * 0.001)

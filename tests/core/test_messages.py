@@ -1,0 +1,46 @@
+"""Unit tests for the control-message dataclasses."""
+
+from repro.core.messages import JoinQuery, JoinReply, RouteError
+from repro.net.packet import BROADCAST
+
+
+class TestJoinQuery:
+    def test_defaults(self):
+        jq = JoinQuery(src=3, source=0, group=1, seq=2)
+        assert jq.dst == BROADCAST
+        assert jq.hop_count == 0
+        assert jq.path_profit == 0
+
+    def test_forwarding_clone_preserves_session(self):
+        jq = JoinQuery(src=0, source=0, group=1, seq=2, hop_count=3, path_profit=4)
+        fwd = jq.clone_for_forwarding(9)
+        assert fwd.session == jq.session
+        assert fwd.hop_count == 3 and fwd.path_profit == 4
+        assert fwd.src == 9 and fwd.uid != jq.uid
+
+    def test_size_includes_profit_fields(self):
+        assert JoinQuery(src=0).size_bits() > 192  # header + fields
+
+
+class TestJoinReply:
+    def test_session_and_origin(self):
+        jr = JoinReply(src=5, dst=4, nexthop=4, receiver=5, source=0, group=1, seq=2)
+        assert jr.session == (0, 1, 2)
+        assert jr.is_original
+        relay = JoinReply(src=4, dst=3, nexthop=3, receiver=5, source=0, group=1, seq=2)
+        assert not relay.is_original
+
+    def test_unicast_addressing(self):
+        jr = JoinReply(src=5, dst=4, nexthop=4, receiver=5)
+        assert jr.dst == 4 != BROADCAST
+
+
+class TestRouteError:
+    def test_fields(self):
+        re = RouteError(src=7, receiver=7, source=0, group=1, seq=3, failed_node=2)
+        assert re.session == (0, 1, 3)
+        assert re.failed_node == 2
+        assert re.dst == BROADCAST  # flooded
+
+    def test_default_failed_node_sentinel(self):
+        assert RouteError(src=1).failed_node == -1

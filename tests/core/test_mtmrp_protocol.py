@@ -1,0 +1,220 @@
+"""Behavioural unit tests for MTMRP's Algorithms 1 and 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.mtmrp import MtmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import (
+    build,
+    data_tx_count,
+    delivered_nodes,
+    forwarders_of,
+    line_positions,
+    run_round,
+)
+
+
+def mtmrp(**kw):
+    return lambda: MtmrpAgent(**kw)
+
+
+class TestLineTopology:
+    """S - A - R : the minimal relay scenario."""
+
+    def _run(self, **kw):
+        sim, net, agents = build(line_positions(3), 25.0, receivers=[2], agent_factory=mtmrp(**kw))
+        run_round(sim, agents)
+        return sim, net, agents
+
+    def test_receiver_delivered(self):
+        sim, _net, _agents = self._run()
+        assert delivered_nodes(sim) == {2}
+
+    def test_intermediate_marked_forwarder(self):
+        _sim, _net, agents = self._run()
+        assert forwarders_of(agents) == {1}
+
+    def test_transmission_count_is_source_plus_relay(self):
+        sim, _net, _agents = self._run()
+        assert data_tx_count(sim) == 2  # S and A
+
+    def test_receiver_state(self):
+        _sim, _net, agents = self._run()
+        st = agents[2].state_of(0, 1)
+        assert st.covered and st.replied
+        assert st.upstream == 1
+        assert st.hop_count == 2
+
+    def test_reverse_path_learned(self):
+        _sim, _net, agents = self._run()
+        assert agents[1].state_of(0, 1).upstream == 0
+
+    def test_source_knows_connected_receiver(self):
+        _sim, _net, agents = self._run()
+        assert agents[0].connected_receivers == {2}
+
+
+class TestDuplicateSuppression:
+    def test_duplicate_join_query_dropped(self):
+        # a 2x2 square: every node hears the JQ at least twice
+        pos = [[0, 0], [20, 0], [0, 20], [20, 20]]
+        sim, _net, agents = build(pos, 30.0, receivers=[3], agent_factory=mtmrp())
+        run_round(sim, agents)
+        assert sim.trace.counts[(TraceKind.DROP, "JoinQuery")] > 0
+        # exactly one JQ transmission per node (flood discipline)
+        jq_tx = [r.node for r in sim.trace.filter(kind=TraceKind.TX, packet_type="JoinQuery")]
+        assert sorted(jq_tx) == [0, 1, 2, 3]
+
+    def test_new_seq_replaces_session(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2], agent_factory=mtmrp())
+        run_round(sim, agents, seq=0)
+        st0 = agents[2].state_of(0, 1)
+        assert st0.seq == 0
+        run_round(sim, agents, seq=1)
+        st1 = agents[2].state_of(0, 1)
+        assert st1.seq == 1
+        assert delivered_nodes(sim) == {2}
+
+    def test_receiver_replies_once_per_round(self):
+        pos = [[0, 0], [20, 0], [0, 20], [20, 20]]
+        sim, _net, agents = build(pos, 30.0, receivers=[3], agent_factory=mtmrp())
+        run_round(sim, agents)
+        assert agents[3].stats["replies_originated"] == 1
+
+
+class TestForwarderDedup:
+    def test_shared_path_relays_reply_once(self):
+        """Two receivers behind the same relay: the relay forwards the
+        first JoinReply and absorbs the second (Algorithm 2, l. 8-9)."""
+        # S(0) - A(1) - B(2); receivers R1(3), R2(4) both adjacent to B only
+        pos = [[0, 0], [20, 0], [40, 0], [60, 10], [60, -10]]
+        sim, _net, agents = build(pos, 25.0, receivers=[3, 4], agent_factory=mtmrp())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {3, 4}
+        assert forwarders_of(agents) == {1, 2}
+        # B originated no reply (not a member) and relayed only one of the
+        # two receiver replies upstream; A likewise.
+        assert agents[2].stats["replies_forwarded"] == 1
+        assert agents[1].stats["replies_forwarded"] == 1
+        assert data_tx_count(sim) == 3  # S, A, B
+
+
+class TestReceiverAsForwarder:
+    def test_covered_receiver_extends_tree_silently(self):
+        """Algorithm 2 l. 10-12: a covered receiver named as next hop turns
+        forwarder without re-propagating the JoinReply."""
+        # chain S - R1 - R2 (both receivers)
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[1, 2],
+                                  agent_factory=mtmrp())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {1, 2}
+        st1 = agents[1].state_of(0, 1)
+        assert st1.covered and st1.is_forwarder
+        # R1's own reply reached S; R2's reply was absorbed at R1
+        assert agents[1].stats["replies_forwarded"] == 0
+        assert data_tx_count(sim) == 2  # S and R1
+
+
+class TestPathProfit:
+    def test_pp_accumulates_upstream_relay_profits(self):
+        """Definition 2 via the Fig. 3 mechanism: the JoinQuery's PathProfit
+        field sums the cached RelayProfits of the path."""
+        # line S - A - B - C with receivers X (adjacent to A) and Y (adjacent
+        # to B), plus terminal receiver at D: RP(A)=1, RP(B)=1.
+        pos = [
+            [0, 0],     # 0 = S
+            [20, 0],    # 1 = A
+            [40, 0],    # 2 = B
+            [60, 0],    # 3 = C
+            [20, 20],   # 4 = X (receiver, neighbor of A)
+            [40, 20],   # 5 = Y (receiver, neighbor of B)
+            [80, 0],    # 6 = D (receiver, neighbor of C)
+        ]
+        sim, _net, agents = build(pos, 25.0, receivers=[4, 5, 6], agent_factory=mtmrp())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {4, 5, 6}
+        # A received the JQ from S with PP=0 and cached RP(A)=1
+        st_a = agents[1].state_of(0, 1)
+        assert st_a.path_profit == 0 and st_a.relay_profit == 1
+        # B's JQ came from A: PP = RP(A) = 1
+        st_b = agents[2].state_of(0, 1)
+        assert st_b.path_profit == 1
+        # C's JQ came from B: PP = RP(A) + RP(B) = 2
+        st_c = agents[3].state_of(0, 1)
+        assert st_c.path_profit == 2
+
+    def test_relay_profit_cached_at_query_arrival(self):
+        """Coverage updates during the backoff do NOT change the advertised
+        PathProfit (the Fig. 3 walkthrough: B advertises RP computed before
+        it overheard A's and C's replies)."""
+        # S with two receiver neighbors R1, R2 and a relay B; a far receiver
+        # behind B.  B's RP is 0 (R1/R2 are not B's neighbors? make them so):
+        pos = [
+            [0, 0],     # 0 = S
+            [20, 0],    # 1 = B relay
+            [20, 20],   # 2 = R1 receiver, neighbor of S and B
+            [20, -20],  # 3 = R2 receiver, neighbor of S and B
+            [45, 0],    # 4 = R3 far receiver reachable ONLY via B (25 m)
+        ]
+        # range 29: S-B 20, S-R1/R2 28.3, B-R3 25; R1/R2-R3 is 32 (out)
+        sim, _net, agents = build(pos, 29.0, receivers=[2, 3, 4], agent_factory=mtmrp())
+        run_round(sim, agents)
+        st_b = agents[1].state_of(0, 1)
+        # B cached RP=3 when the JQ arrived (R1, R2, R3 all uncovered then),
+        # even though R1/R2 replied before B's backoff expired.
+        assert st_b.relay_profit == 3
+        st_r3 = agents[4].state_of(0, 1)
+        assert st_r3.path_profit == 3
+
+
+class TestOverhearingMarks:
+    def test_original_reply_marks_covered(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2], agent_factory=mtmrp())
+        run_round(sim, agents)
+        session = (0, 1, 0)
+        # A (node 1) heard R's original JoinReply -> covered mark
+        entry = agents[1].node.neighbor_table.entry(2)
+        assert session in entry.covered_sessions
+
+    def test_relayed_reply_marks_forwarder(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=mtmrp())
+        run_round(sim, agents)
+        session = (0, 1, 0)
+        # node 1 heard node 2 relaying R's reply -> forwarder mark
+        entry = agents[1].node.neighbor_table.entry(2)
+        assert session in entry.forwarder_sessions
+
+
+class TestDataPlane:
+    def test_forwarder_forwards_first_copy_only(self):
+        pos = [[0, 0], [20, 0], [0, 20], [20, 20], [40, 20]]
+        sim, _net, agents = build(pos, 30.0, receivers=[4], agent_factory=mtmrp())
+        run_round(sim, agents)
+        # every data transmitter transmitted exactly once
+        tx_nodes = [r.node for r in sim.trace.filter(kind=TraceKind.TX, packet_type="DataPacket")]
+        assert len(tx_nodes) == len(set(tx_nodes))
+
+    def test_non_forwarder_does_not_forward(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[1], agent_factory=mtmrp())
+        run_round(sim, agents)
+        # node 2 (beyond the receiver) hears data but must stay silent
+        assert 2 not in {
+            r.node for r in sim.trace.filter(kind=TraceKind.TX, packet_type="DataPacket")
+        }
+
+    def test_multiple_data_packets_reuse_tree(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=mtmrp())
+        run_round(sim, agents)
+        jq_before = sim.trace.count(TraceKind.TX, "JoinQuery")
+        agents[0].send_data(1, 1)
+        agents[0].send_data(1, 2)
+        sim.run(until=sim.now + 1.0)
+        assert sim.trace.count(TraceKind.TX, "JoinQuery") == jq_before  # no re-flood
+        assert sim.trace.count(TraceKind.TX, "DataPacket") == 3 * 3  # 3 packets x (S, A, B)
+
+
+class TestProtocolName:
+    def test_labels(self):
+        assert MtmrpAgent().protocol_name == "MTMRP"
+        assert MtmrpAgent(phs=False).protocol_name == "MTMRP w/o PHS"

@@ -1,0 +1,146 @@
+"""Scenario tests reconstructing the paper's worked examples (Figs. 1-3)."""
+
+import numpy as np
+
+from repro.core.mtmrp import MtmrpAgent
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import (
+    build,
+    data_tx_count,
+    delivered_nodes,
+    forwarders_of,
+    run_round,
+)
+
+
+def fig3_positions():
+    """The Fig. 1(c)/Fig. 3 network: source S, a 3x3 relay grid, sink J.
+
+        A  D  G
+    S   B  E  H   J
+        C  F  I
+
+    Spacing 20 m, range 25 m -> 4-adjacency inside the grid ("no diagonal
+    links").  S sits at (8, 0) so that it is adjacent to A, B *and* C, as
+    the walkthrough requires ("Nodes A, B and C receive the JoinQuery
+    forwarded by node S"): S-A = S-C = 23.3 m, S-B = 12 m, S-E = 32 m.
+    """
+    return [
+        [8, 0],      # 0 S
+        [20, 20],    # 1 A
+        [20, 0],     # 2 B
+        [20, -20],   # 3 C
+        [40, 20],    # 4 D
+        [40, 0],     # 5 E
+        [40, -20],   # 6 F
+        [60, 20],    # 7 G
+        [60, 0],     # 8 H
+        [60, -20],   # 9 I
+        [80, 0],     # 10 J
+    ]
+
+
+#: receivers per the Fig. 3 walkthrough: A, C reply to S directly; D, F,
+#: G, I flank the middle corridor; J terminates it.
+FIG3_RECEIVERS = [1, 3, 4, 6, 7, 9, 10]
+
+
+class TestFig3Walkthrough:
+    def test_all_receivers_covered(self):
+        sim, _net, agents = build(fig3_positions(), 25.0, receivers=FIG3_RECEIVERS,
+                                  agent_factory=lambda: MtmrpAgent(), seed=3)
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == set(FIG3_RECEIVERS)
+
+    def test_middle_corridor_profits(self):
+        """RP(B)=2 (A, C uncovered at JQ arrival); PP accumulates 0 -> 2 -> 4
+        along S-B-E-H exactly as the Fig. 3 labels say."""
+        sim, _net, agents = build(fig3_positions(), 25.0, receivers=FIG3_RECEIVERS,
+                                  agent_factory=lambda: MtmrpAgent(), seed=3)
+        run_round(sim, agents)
+        st_b = agents[2].state_of(0, 1)
+        assert st_b.relay_profit == 2  # covers A and C
+        assert st_b.path_profit == 0
+        assert st_b.hop_count == 1
+        st_e = agents[5].state_of(0, 1)
+        st_h = agents[8].state_of(0, 1)
+        # E's and H's JQ may arrive via the corridor (B, E) or a flank;
+        # when the corridor wins the labels match the figure exactly.
+        if st_e.upstream == 2 and st_h.upstream == 5:
+            assert st_e.path_profit == 2
+            assert st_h.path_profit == 4
+            assert st_e.relay_profit == 2  # covers D and F
+            # Definition 1 gives H profit 3 (G, I *and* the terminal sink
+            # J are uncovered receiver neighbors); the figure's label "2"
+            # apparently excludes the sink.
+            assert st_h.relay_profit == 3
+
+    def test_minimum_transmission_outcome_reachable(self):
+        """Fig. 1(c) idealises a 4-transmission tree (S, B, E, H).  That
+        exact end state requires the wing receivers to hear the corridor's
+        two-hop JoinQuery before the one-hop wing relays fire — causally
+        impossible in some draws (DESIGN.md §2) — so the best *reachable*
+        tree adds one wing relay: 5 transmissions.  MTMRP must find it and
+        never degrade to the flood-like worst case."""
+        costs = []
+        for seed in range(20):
+            sim, _net, agents = build(fig3_positions(), 25.0, receivers=FIG3_RECEIVERS,
+                                      agent_factory=lambda: MtmrpAgent(), seed=seed)
+            run_round(sim, agents)
+            assert delivered_nodes(sim) == set(FIG3_RECEIVERS)
+            costs.append(data_tx_count(sim))
+        assert min(costs) == 5
+        assert max(costs) <= 8
+        assert float(np.mean(costs)) <= 6.5
+
+    def test_mtmrp_beats_odmrp_on_fig1_network(self):
+        """Fig. 1's point: the shortest-path flood (ODMRP) spends more
+        transmissions than the biased flood on this topology, on average."""
+
+        def mean_cost(factory):
+            vals = []
+            for seed in range(12):
+                sim, _net, agents = build(fig3_positions(), 25.0,
+                                          receivers=FIG3_RECEIVERS,
+                                          agent_factory=factory, seed=seed)
+                run_round(sim, agents)
+                vals.append(data_tx_count(sim))
+            return float(np.mean(vals))
+
+        assert mean_cost(lambda: MtmrpAgent()) < mean_cost(lambda: OdmrpAgent())
+
+
+class TestFig2MemberBias:
+    """Fig. 2: with equal profits, the member-side path wins."""
+
+    def _diamond(self):
+        """S -> {B (plain), C (receiver)} -> D (receiver).  B and C have the
+        same RP/PP; Eq. (4)'s jitter bands must route through C."""
+        return [
+            [0, 0],     # 0 S
+            [20, 15],   # 1 B  (non-member)
+            [20, -15],  # 2 C  (receiver)
+            [40, 0],    # 3 D  (receiver)
+        ]
+
+    def test_member_chosen_as_forwarder(self):
+        wins = 0
+        for seed in range(10):
+            sim, _net, agents = build(self._diamond(), 26.0, receivers=[2, 3],
+                                      agent_factory=lambda: MtmrpAgent(), seed=seed)
+            run_round(sim, agents)
+            assert delivered_nodes(sim) == {2, 3}
+            fw = forwarders_of(agents)
+            if fw == {2}:
+                wins += 1
+        # the bands are disjoint, so C must win deterministically
+        assert wins == 10
+
+    def test_member_route_uses_fewer_extra_nodes(self):
+        sim, _net, agents = build(self._diamond(), 26.0, receivers=[2, 3],
+                                  agent_factory=lambda: MtmrpAgent(), seed=0)
+        run_round(sim, agents)
+        transmitters = sim.trace.nodes_with(TraceKind.TX, "DataPacket")
+        extra = transmitters - {0, 2, 3}
+        assert extra == set()  # Fig. 2(b): one less extra node

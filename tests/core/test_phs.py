@@ -1,0 +1,149 @@
+"""Tests for the path handover scheme (Sec. IV-C-4, Fig. 4)."""
+
+import numpy as np
+
+from repro.core.mtmrp import MtmrpAgent
+from repro.net.topology import random_topology
+from repro.sim.trace import TraceKind
+from tests.core.helpers import (
+    build,
+    data_tx_count,
+    delivered_nodes,
+    forwarders_of,
+    run_round,
+)
+
+
+def mtmrp(**kw):
+    return lambda: MtmrpAgent(**kw)
+
+
+def _fig4_like_positions():
+    """Two parallel branches sharing a neighborhood near the far end.
+
+    Layout (range 25, spacing 20):
+
+        S - A - B - C - R1     (upper branch, R1 a receiver)
+              \\
+        and a lower receiver R2 whose reverse path runs through H, a
+        neighbor of C.  When R1's reply establishes C as a forwarder
+        before R2's reply reaches H, PHS lets H join C's tree instead of
+        building a second full path.
+    """
+    return [
+        [0, 0],     # 0 S
+        [20, 0],    # 1 A
+        [40, 0],    # 2 B
+        [60, 0],    # 3 C
+        [80, 0],    # 4 R1 (receiver)
+        [60, 20],   # 5 H (neighbor of C: distance 20)
+        [80, 20],   # 6 R2 (receiver, neighbor of H)
+    ]
+
+
+class TestHandoverScenario:
+    def test_both_variants_deliver(self):
+        for phs in (True, False):
+            sim, _net, agents = build(_fig4_like_positions(), 25.0,
+                                      receivers=[4, 6], agent_factory=mtmrp(phs=phs))
+            run_round(sim, agents)
+            assert delivered_nodes(sim) == {4, 6}, f"phs={phs}"
+
+    def test_phs_never_costs_more_transmissions(self):
+        costs = {}
+        for phs in (True, False):
+            sim, _net, agents = build(_fig4_like_positions(), 25.0,
+                                      receivers=[4, 6], agent_factory=mtmrp(phs=phs))
+            run_round(sim, agents)
+            costs[phs] = data_tx_count(sim)
+        assert costs[True] <= costs[False]
+
+    def test_handover_or_suppression_occurred(self):
+        sim, _net, agents = build(_fig4_like_positions(), 25.0,
+                                  receivers=[4, 6], agent_factory=mtmrp(phs=True))
+        run_round(sim, agents)
+        saved = sum(
+            a.stats["handovers"] + a.stats["replies_suppressed"] for a in agents
+        )
+        assert saved >= 1
+
+    def test_without_phs_no_handover_stats(self):
+        sim, _net, agents = build(_fig4_like_positions(), 25.0,
+                                  receivers=[4, 6], agent_factory=mtmrp(phs=False))
+        run_round(sim, agents)
+        assert all(a.stats["handovers"] == 0 for a in agents)
+        assert all(a.stats["replies_suppressed"] == 0 for a in agents)
+
+
+class TestReceiverSuppression:
+    def test_suppressed_receiver_is_still_covered_and_served(self):
+        """A receiver that stays silent because a forwarder neighbor exists
+        must still receive the data (Algorithm 1, lines 4-5 + 9)."""
+        # Build a topology where a second receiver R2 sits next to the
+        # R1-serving relay and gets its JoinQuery *late* (long path), so the
+        # relay is already marked by the time R2's JQ arrives.
+        pos = [
+            [0, 0],    # 0 S
+            [20, 0],   # 1 A
+            [40, 0],   # 2 B (will serve R1)
+            [60, 0],   # 3 R1 (receiver)
+            [40, 20],  # 4 R2 (receiver, neighbor of B only... and A? 28.3)
+        ]
+        # range 25: A-R2 distance 28.3 -> only B reaches R2
+        sim, _net, agents = build(pos, 25.0, receivers=[3, 4], agent_factory=mtmrp())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {3, 4}
+        st4 = agents[4].state_of(0, 1)
+        assert st4.covered
+
+
+class TestHandoverCycleRegression:
+    """Regression for the downstream-children deadlock.
+
+    Without excluding the JoinReply's sender (and previous children) from
+    the handover check, a node could 'hand over' to the very forwarder
+    that depends on it for data, starving whole subtrees.  Delivery must
+    be 100% on a perfect channel across many random instances.
+    """
+
+    def test_full_delivery_across_random_instances(self):
+        failures = []
+        for seed in range(25):
+            pos = random_topology(120, 200.0, rng=np.random.default_rng(seed),
+                                  comm_range=40.0)
+            rng = np.random.default_rng(seed + 999)
+            receivers = rng.choice(np.arange(1, 120), size=18, replace=False).tolist()
+            sim, _net, agents = build(pos, 40.0, receivers=receivers,
+                                      agent_factory=mtmrp(phs=True), seed=seed)
+            run_round(sim, agents)
+            if delivered_nodes(sim) != set(receivers):
+                failures.append(seed)
+        assert failures == []
+
+    def test_children_are_excluded_from_handover(self):
+        """Direct check: the child that named us next hop is recorded."""
+        sim, _net, agents = build(_fig4_like_positions(), 25.0,
+                                  receivers=[4, 6], agent_factory=mtmrp())
+        run_round(sim, agents)
+        # C (node 3) acted as next hop of R1's reply relayed by... R1 itself
+        st3 = agents[3].state_of(0, 1)
+        assert 4 in st3.downstream_children
+
+
+class TestPhsAtScale:
+    def test_phs_saves_on_the_paper_grid(self):
+        """Across seeds on the 10x10 grid, PHS reduces mean transmissions."""
+        from repro.net.topology import grid_topology
+
+        def mean_cost(phs):
+            vals = []
+            for seed in range(8):
+                rng = np.random.default_rng(seed)
+                receivers = rng.choice(np.arange(1, 100), size=20, replace=False).tolist()
+                sim, _net, agents = build(grid_topology(), 40.0, receivers=receivers,
+                                          agent_factory=mtmrp(phs=phs), seed=seed)
+                run_round(sim, agents)
+                vals.append(data_tx_count(sim))
+            return float(np.mean(vals))
+
+        assert mean_cost(True) < mean_cost(False)

@@ -1,0 +1,52 @@
+"""Tests for the ablation experiment definitions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    centralized_gap,
+    mac_ablation,
+    phs_ablation,
+    shadowing_ablation,
+)
+
+
+def test_phs_ablation_saves_transmissions():
+    cmp = phs_ablation(runs=10)
+    assert cmp.a == "mtmrp" and cmp.b == "mtmrp_nophs"
+    assert cmp.n == 10
+    assert cmp.mean_diff >= 0  # PHS never costs transmissions on average
+
+
+def test_mac_ablation_ordering_robust():
+    out = mac_ablation(runs=10)
+    assert set(out) == {"ideal", "csma"}
+    for mac, cmp in out.items():
+        assert cmp.mean_diff > 0, mac  # MTMRP beats ODMRP under both MACs
+
+
+def test_shadowing_degrades_delivery():
+    out = shadowing_ablation(sigmas_db=(0.0, 6.0), runs=8)
+    clean = out[0.0]["delivery_ratio"]["mean"]
+    faded = out[6.0]["delivery_ratio"]["mean"]
+    assert clean >= 0.99
+    assert faded < clean  # the paper's assumption hides real losses
+
+
+def test_construction_latency_price():
+    from repro.experiments.ablations import construction_latency_price
+
+    out = construction_latency_price(runs=6, ws=(0.001, 0.03))
+    # the biased backoff costs construction latency, growing with w ...
+    assert out["mtmrp(w=0.001)"]["latency"] > 0
+    assert out["mtmrp(w=0.03)"]["latency"] > 5 * out["mtmrp(w=0.001)"]["latency"]
+    # ... and ODMRP's plain jittered flood is the fastest
+    assert out["odmrp"]["latency"] <= out["mtmrp(w=0.03)"]["latency"]
+
+
+def test_centralized_gap_ordering():
+    gap = centralized_gap(rounds=5)
+    # centralized greedy (global view) beats the distributed protocol...
+    assert gap["greedy"] <= gap["mtmrp"]
+    # ...and the distributed protocol stays within ~2x of it
+    assert gap["mtmrp"] <= 2.0 * gap["greedy"]

@@ -1,0 +1,64 @@
+"""Tests for checkpointed campaigns."""
+
+import json
+
+import pytest
+
+from repro.experiments import SimulationConfig, monte_carlo
+from repro.experiments.campaign import config_key, load_campaign, run_campaign
+
+FAST = dict(topology="grid", group_size=10, mac="ideal")
+
+
+def _configs(n=3):
+    return monte_carlo(SimulationConfig(protocol="odmrp", **FAST), n, batch_seed=1)
+
+
+def test_run_and_load_roundtrip(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    records = run_campaign(_configs(), path)
+    assert len(records) == 3
+    index, loaded = load_campaign(path)
+    assert len(loaded) == 3
+    assert all("_config" in r and "data_transmissions" in r for r in loaded)
+    assert len(index) == 3
+
+
+def test_resume_skips_done_configs(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    run_campaign(_configs(2), path)
+    calls = []
+    run_campaign(_configs(4), path, progress=lambda i, n: calls.append((i, n)))
+    # only the 2 new configs were executed
+    assert calls == [(1, 2), (2, 2)]
+    _index, records = load_campaign(path)
+    assert len(records) == 4
+
+
+def test_config_key_stable_and_distinct():
+    a, b = _configs(2)
+    assert config_key(a) == config_key(a.with_())
+    assert config_key(a) != config_key(b)
+
+
+def test_records_rebuild_configs(tmp_path):
+    path = tmp_path / "c.jsonl"
+    run_campaign(_configs(1), path)
+    _idx, records = load_campaign(path)
+    cfg = SimulationConfig(**records[0]["_config"])
+    assert cfg.protocol == "odmrp"
+    assert cfg.group_size == 10
+
+
+def test_missing_file_loads_empty(tmp_path):
+    index, records = load_campaign(tmp_path / "nope.jsonl")
+    assert index == {} and records == []
+
+
+def test_file_is_json_lines(tmp_path):
+    path = tmp_path / "c.jsonl"
+    run_campaign(_configs(2), path)
+    lines = path.read_text().strip().split("\n")
+    assert len(lines) == 2
+    for line in lines:
+        json.loads(line)  # every line is standalone JSON

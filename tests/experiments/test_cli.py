@@ -1,0 +1,38 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_fig9_command(capsys):
+    rc = main(["fig9"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Fig. 9" in out
+    assert "MTMRP:" in out and "ODMRP:" in out
+    assert "transmissions" in out
+
+
+def test_fig10_with_explicit_seed(capsys):
+    rc = main(["fig10", "--seed", "1011"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "MTMRP: 16 transmissions" in out  # the paper-caption round
+
+
+def test_fig5_tiny(capsys, monkeypatch):
+    # shrink the sweep so the CLI test stays fast
+    from repro.experiments import figures
+
+    monkeypatch.setattr(figures, "GROUP_SIZES", (10,))
+    rc = main(["fig5", "--runs", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Normalized transmission overhead" in out
+    assert "Average relay profit" in out
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

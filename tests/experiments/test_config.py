@@ -1,0 +1,110 @@
+"""Tests for experiment configuration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import (
+    PROTOCOLS,
+    SimulationConfig,
+    make_agent_factory,
+    make_positions,
+)
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = SimulationConfig()
+        assert cfg.side == 200.0
+        assert cfg.comm_range == 40.0
+        assert cfg.backoff_n == 4.0
+        assert cfg.backoff_w == 0.001
+        assert cfg.grid_nx == cfg.grid_ny == 10
+        assert cfg.random_nodes == 200
+        assert cfg.source == 0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(protocol="aodv")
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(topology="torus")
+
+    def test_group_size_bounds(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(group_size=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(topology="grid", group_size=100)
+        SimulationConfig(topology="grid", group_size=99)  # ok
+
+    def test_n_nodes(self):
+        assert SimulationConfig(topology="grid").n_nodes == 100
+        assert SimulationConfig(topology="random").n_nodes == 200
+
+    def test_with_functional_update(self):
+        cfg = SimulationConfig()
+        cfg2 = cfg.with_(group_size=30)
+        assert cfg.group_size == 20 and cfg2.group_size == 30
+
+    def test_labels(self):
+        assert SimulationConfig(protocol="mtmrp").label == "MTMRP"
+        assert SimulationConfig(protocol="mtmrp_nophs").label == "MTMRP w/o PHS"
+
+    def test_protocols_tuple(self):
+        assert PROTOCOLS == ("mtmrp", "mtmrp_nophs", "dodmrp", "odmrp")
+
+
+class TestConstructionTime:
+    def test_fixed_override(self):
+        cfg = SimulationConfig(construction_time=5.5)
+        assert cfg.effective_construction_time == 5.5
+
+    def test_auto_scales_with_backoff(self):
+        slow = SimulationConfig(backoff_n=6.0, backoff_w=0.03)
+        fast = SimulationConfig(backoff_n=4.0, backoff_w=0.001)
+        assert slow.effective_construction_time > fast.effective_construction_time
+        assert fast.effective_construction_time == 2.0  # floor
+
+    def test_baselines_fixed(self):
+        assert SimulationConfig(protocol="odmrp").effective_construction_time == 2.0
+
+
+class TestFactories:
+    def test_positions_grid_deterministic(self):
+        cfg = SimulationConfig(topology="grid")
+        a = make_positions(cfg, np.random.default_rng(1))
+        b = make_positions(cfg, np.random.default_rng(99))
+        assert np.array_equal(a, b)
+
+    def test_positions_random_seeded(self):
+        cfg = SimulationConfig(topology="random")
+        a = make_positions(cfg, np.random.default_rng(7))
+        b = make_positions(cfg, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+        assert a.shape == (200, 2)
+
+    def test_agent_factories(self):
+        from repro.core.mtmrp import MtmrpAgent
+        from repro.net.flooding import FloodingAgent
+        from repro.protocols.dodmrp import DodmrpAgent
+        from repro.protocols.odmrp import OdmrpAgent
+
+        cases = {
+            "mtmrp": MtmrpAgent,
+            "mtmrp_nophs": MtmrpAgent,
+            "dodmrp": DodmrpAgent,
+            "odmrp": OdmrpAgent,
+            "flooding": FloodingAgent,
+        }
+        for proto, cls in cases.items():
+            cfg = SimulationConfig(protocol=proto)
+            agent = make_agent_factory(cfg)(None)
+            assert isinstance(agent, cls)
+        assert make_agent_factory(SimulationConfig(protocol="mtmrp"))(None).phs is True
+        assert make_agent_factory(SimulationConfig(protocol="mtmrp_nophs"))(None).phs is False
+
+    def test_backoff_params_threaded_through(self):
+        cfg = SimulationConfig(protocol="mtmrp", backoff_n=6.0, backoff_w=0.02)
+        agent = make_agent_factory(cfg)(None)
+        assert agent.backoff.params.n == 6.0
+        assert agent.backoff.params.w == 0.02

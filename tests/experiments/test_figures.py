@@ -1,0 +1,54 @@
+"""Smoke tests for the figure definitions (tiny run counts)."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_sweep_result_accessors():
+    sweep = figures.fig5(runs=2, group_sizes=(5, 10), protocols=("odmrp",))
+    assert sweep.xs == [5, 10]
+    assert ("odmrp", 5) in sweep.runs
+    series = sweep.series("odmrp", "data_transmissions")
+    assert len(series) == 2
+    assert sweep.mean("odmrp", 5, "data_transmissions") == series[0]
+    assert sweep.sem("odmrp", 5, "data_transmissions") >= 0
+
+
+def test_fig5_receiver_draws_paired_across_protocols():
+    """Same batch seed per group size -> identical receiver draws for all
+    protocols (paired comparison, as the paper's per-round averaging)."""
+    sweep = figures.fig5(runs=2, group_sizes=(10,), protocols=("odmrp", "mtmrp"))
+    odmrp_recv = [r.receivers for r in sweep.runs[("odmrp", 10)]]
+    mtmrp_recv = [r.receivers for r in sweep.runs[("mtmrp", 10)]]
+    assert odmrp_recv == mtmrp_recv
+
+
+def test_fig6_uses_random_topology():
+    sweep = figures.fig6(runs=1, group_sizes=(10,), protocols=("odmrp",))
+    res = sweep.runs[("odmrp", 10)][0]
+    assert res.topology == "random"
+
+
+def test_fig7_parameter_grid():
+    sweep = figures.fig7(runs=1, ns=(3.0, 4.0), ws=(0.001,), protocols=("mtmrp",))
+    assert sweep.xs == [(3.0, 0.001), (4.0, 0.001)]
+    for (n, w) in sweep.xs:
+        res = sweep.runs[("mtmrp", (n, w))][0]
+        assert res.backoff_n == n and res.backoff_w == w
+
+
+def test_fig9_snapshot_shapes():
+    snaps = figures.fig9(seed=1, protocols=("odmrp",))
+    res = snaps["odmrp"]
+    assert res.positions is not None
+    assert len(res.receivers) == 20
+    assert res.topology == "grid"
+
+
+def test_fig10_snapshot_shapes():
+    snaps = figures.fig10(seed=1, protocols=("mtmrp",))
+    res = snaps["mtmrp"]
+    assert len(res.receivers) == 15
+    assert res.topology == "random"
+    assert res.positions.shape == (200, 2)

@@ -1,0 +1,96 @@
+"""Tests for the Monte-Carlo runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import (
+    RunResult,
+    aggregate,
+    monte_carlo,
+    run_many,
+    run_single,
+)
+
+FAST = dict(topology="grid", group_size=10, mac="ideal")
+
+
+class TestRunSingle:
+    def test_deterministic_given_seed(self):
+        cfg = SimulationConfig(protocol="mtmrp", seed=5, **FAST)
+        a = run_single(cfg)
+        b = run_single(cfg)
+        assert a == b
+
+    def test_seed_changes_receiver_draw(self):
+        a = run_single(SimulationConfig(protocol="mtmrp", seed=1, **FAST))
+        b = run_single(SimulationConfig(protocol="mtmrp", seed=2, **FAST))
+        assert a.receivers != b.receivers
+
+    def test_result_fields_sane(self):
+        r = run_single(SimulationConfig(protocol="mtmrp", seed=3, **FAST))
+        assert r.protocol == "mtmrp"
+        assert r.group_size == 10 == len(r.receivers)
+        assert 0 < r.data_transmissions <= 100
+        assert r.delivery_ratio == 1.0  # ideal MAC + perfect channel
+        assert r.extra_nodes >= 0
+        assert r.join_query_tx == 100
+        assert r.energy_joules > 0
+        assert r.positions is None
+
+    def test_keep_positions(self):
+        r = run_single(SimulationConfig(protocol="mtmrp", seed=3, **FAST), keep_positions=True)
+        assert r.positions is not None and r.positions.shape == (100, 2)
+
+    def test_flooding_protocol(self):
+        r = run_single(SimulationConfig(protocol="flooding", seed=3, **FAST))
+        assert r.data_transmissions == 100
+        assert r.delivery_ratio == 1.0
+
+    def test_hello_phase_mode(self):
+        cfg = SimulationConfig(protocol="mtmrp", seed=4, hello_phase=True, **FAST)
+        r = run_single(cfg)
+        assert r.hello_tx > 0
+        assert r.delivery_ratio == 1.0
+
+    def test_source_never_a_receiver(self):
+        for seed in range(5):
+            r = run_single(SimulationConfig(protocol="odmrp", seed=seed, **FAST))
+            assert 0 not in r.receivers
+
+
+class TestMonteCarlo:
+    def test_expansion_deterministic(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        a = [c.seed for c in monte_carlo(cfg, 10, batch_seed=7)]
+        b = [c.seed for c in monte_carlo(cfg, 10, batch_seed=7)]
+        assert a == b
+        assert len(set(a)) == 10
+
+    def test_run_many_serial(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        results = run_many(monte_carlo(cfg, 4, batch_seed=1))
+        assert len(results) == 4
+        assert all(isinstance(r, RunResult) for r in results)
+
+    def test_run_many_parallel_matches_serial(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        cfgs = monte_carlo(cfg, 4, batch_seed=1)
+        serial = run_many(cfgs, workers=1)
+        parallel = run_many(cfgs, workers=2)
+        assert serial == parallel
+
+
+class TestAggregate:
+    def test_mean_std_sem(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        results = run_many(monte_carlo(cfg, 5, batch_seed=2))
+        agg = aggregate(results, "data_transmissions")
+        vals = [r.data_transmissions for r in results]
+        assert agg["mean"] == pytest.approx(np.mean(vals))
+        assert agg["std"] == pytest.approx(np.std(vals, ddof=1))
+        assert agg["n"] == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([], "data_transmissions")

@@ -1,0 +1,69 @@
+"""Tests for the analysis/statistics utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import mean_ci, paired_comparison
+from repro.experiments import SimulationConfig, monte_carlo, run_many
+
+FAST = dict(topology="grid", group_size=10, mac="ideal")
+
+
+class TestMeanCI:
+    def test_point_estimate(self):
+        out = mean_ci([3.0])
+        assert out == {"mean": 3.0, "lo": 3.0, "hi": 3.0, "sem": 0.0, "n": 1}
+
+    def test_interval_contains_mean(self):
+        out = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert out["lo"] < out["mean"] < out["hi"]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=50))
+    def test_interval_symmetric_property(self, values):
+        out = mean_ci(values)
+        assert out["hi"] - out["mean"] == pytest.approx(out["mean"] - out["lo"], abs=1e-9)
+
+    def test_wider_confidence_wider_interval(self):
+        vals = [1.0, 5.0, 2.0, 8.0, 3.0]
+        w95 = mean_ci(vals, 0.95)
+        w99 = mean_ci(vals, 0.99)
+        assert (w99["hi"] - w99["lo"]) > (w95["hi"] - w95["lo"])
+
+
+class TestPairedComparison:
+    def _batches(self):
+        a = run_many(monte_carlo(SimulationConfig(protocol="mtmrp", **FAST), 8, 77))
+        b = run_many(monte_carlo(SimulationConfig(protocol="odmrp", **FAST), 8, 77))
+        return a, b
+
+    def test_pairing_enforced(self):
+        a, _ = self._batches()
+        other = run_many(monte_carlo(SimulationConfig(protocol="odmrp", **FAST), 8, 78))
+        with pytest.raises(ValueError):
+            paired_comparison(a, other)
+
+    def test_comparison_fields(self):
+        a, b = self._batches()
+        cmp = paired_comparison(a, b)
+        assert cmp.a == "mtmrp" and cmp.b == "odmrp"
+        assert cmp.n == 8
+        assert 0.0 <= cmp.win_rate <= 1.0
+        assert cmp.ci_lo <= cmp.mean_diff <= cmp.ci_hi
+        assert 0.0 <= cmp.p_value <= 1.0
+
+    def test_self_comparison_is_null(self):
+        a, _ = self._batches()
+        cmp = paired_comparison(a, a)
+        assert cmp.mean_diff == 0.0
+        assert not cmp.significant
+        assert cmp.win_rate == 0.0
+
+    def test_length_mismatch_raises(self):
+        a, b = self._batches()
+        with pytest.raises(ValueError):
+            paired_comparison(a, b[:-1])

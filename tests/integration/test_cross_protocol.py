@@ -1,0 +1,108 @@
+"""Cross-protocol integration: GMR under CSMA, MAODV with refresh,
+multi-group and multi-source coexistence."""
+
+import numpy as np
+
+from repro.core.mtmrp import MtmrpAgent
+from repro.mac.csma import CsmaMac
+from repro.mac.ideal import IdealMac
+from repro.net.network import Network
+from repro.net.topology import grid_topology
+from repro.protocols import GmrAgent, MaodvAgent
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+
+
+def test_gmr_under_csma_mostly_delivers():
+    sim = Simulator(seed=12)
+    net = Network(sim, grid_topology(), comm_range=40.0, mac_factory=CsmaMac)
+    rng = np.random.default_rng(12)
+    dests = rng.choice(np.arange(1, 100), size=12, replace=False).tolist()
+    net.bootstrap_neighbor_tables(with_positions=True)
+    agents = net.install(lambda node: GmrAgent())
+    net.start()
+    agents[0].multicast(1, {d: net.node(d).position for d in dests})
+    sim.run(until=2.0)
+    delivered = sim.trace.nodes_with(TraceKind.DELIVER)
+    assert len(delivered & set(dests)) >= 10  # CSMA may cost a couple
+
+
+def test_maodv_rebuilds_via_refresh():
+    """MAODV's brittleness is healed by the next GroupHello round."""
+    sim = Simulator(seed=3)
+    net = Network(sim, grid_topology(), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    rng = np.random.default_rng(5)
+    receivers = rng.choice(np.arange(1, 100), size=8, replace=False).tolist()
+    net.set_group_members(1, receivers)
+    net.bootstrap_neighbor_tables()
+    agents = net.install(lambda node: MaodvAgent())
+    net.start()
+    agents[0].request_route(1)
+    sim.run(until=2.0)
+    agents[0].send_data(1, 0)
+    sim.run(until=3.0)
+    serving = [a.last_data_from[(0, 1)] for a in agents
+               if a.node_id in receivers and (0, 1) in a.last_data_from]
+    victim = max(set(serving) - {0}, key=serving.count)
+    net.node(victim).fail()
+    # broken round
+    agents[0].send_data(1, 1)
+    sim.run(until=sim.now + 1.0)
+    got1 = {r.node for r in sim.trace.filter(kind=TraceKind.DELIVER)
+            if r.detail == (0, 1, 1)}
+    assert len(got1) < len(receivers)
+    # refresh rebuilds around the corpse
+    agents[0].request_route(1)
+    sim.run(until=sim.now + 2.0)
+    agents[0].send_data(1, 2)
+    sim.run(until=sim.now + 1.0)
+    got2 = {r.node for r in sim.trace.filter(kind=TraceKind.DELIVER)
+            if r.detail == (0, 1, 2)}
+    assert got2 == set(receivers)
+
+
+def test_two_groups_two_sources_coexist():
+    """Independent sessions from different sources share the network."""
+    sim = Simulator(seed=6)
+    net = Network(sim, grid_topology(), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    rng = np.random.default_rng(6)
+    g1 = rng.choice(np.arange(1, 99), size=8, replace=False).tolist()
+    g2 = rng.choice(np.arange(1, 99), size=8, replace=False).tolist()
+    net.set_group_members(1, g1)
+    net.set_group_members(2, g2)
+    net.bootstrap_neighbor_tables()
+    agents = net.install(lambda node: MtmrpAgent())
+    net.start()
+    agents[0].request_route(1)
+    agents[99].request_route(2)
+    sim.run(until=2.5)
+    agents[0].send_data(1, 0)
+    agents[99].send_data(2, 0)
+    sim.run(until=sim.now + 1.5)
+    d1 = {r.node for r in sim.trace.filter(kind=TraceKind.DELIVER)
+          if r.detail == (0, 1, 0)}
+    d2 = {r.node for r in sim.trace.filter(kind=TraceKind.DELIVER)
+          if r.detail == (99, 2, 0)}
+    assert d1 == set(g1)
+    assert d2 == set(g2)
+
+
+def test_node_in_both_groups_keeps_sessions_apart():
+    sim = Simulator(seed=7)
+    net = Network(sim, grid_topology(5, 5, 100.0), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    net.set_group_members(1, [12])
+    net.set_group_members(2, [12])
+    net.bootstrap_neighbor_tables()
+    agents = net.install(lambda node: MtmrpAgent())
+    net.start()
+    agents[0].request_route(1)
+    agents[24].request_route(2)
+    sim.run(until=2.0)
+    st1 = agents[12].state_of(0, 1)
+    st2 = agents[12].state_of(24, 2)
+    assert st1 is not None and st2 is not None
+    assert st1.covered and st2.covered
+    assert st1.session != st2.session

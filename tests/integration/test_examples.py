@@ -1,0 +1,45 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Only the fast examples run here (the Monte-Carlo ones are exercised by
+the benchmark suite); each is executed in-process via runpy so coverage
+and failures surface normally.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "transmissions" in out
+    assert "delivery ratio" in out
+    assert "S=source" in out
+
+
+def test_tree_styles(capsys):
+    out = _run("tree_styles.py", capsys)
+    assert "shortest-path tree" in out
+    assert "distributed MTMRP" in out
+
+
+def test_route_recovery(capsys):
+    out = _run("route_recovery.py", capsys)
+    assert "rebuilt tree" in out
+    # the story must end with full delivery restored
+    assert out.strip().splitlines()[-1].endswith("10/10 receivers")
+
+
+def test_protocol_families(capsys):
+    out = _run("protocol_families.py", capsys)
+    for label in ("MAODV", "ODMRP", "GMR", "MTMRP"):
+        assert label in out

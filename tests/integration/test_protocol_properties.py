@@ -1,0 +1,92 @@
+"""Hypothesis-driven protocol invariants on random deployments."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mtmrp import MtmrpAgent
+from repro.net.topology import connectivity_graph
+from repro.protocols.dodmrp import DodmrpAgent
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import build, run_round
+
+FACTORIES = {
+    "mtmrp": lambda: MtmrpAgent(),
+    "mtmrp_nophs": lambda: MtmrpAgent(phs=False),
+    "dodmrp": lambda: DodmrpAgent(),
+    "odmrp": lambda: OdmrpAgent(),
+}
+
+
+def _random_connected_instance(seed: int, n_nodes: int, n_recv: int):
+    """Draw a connected disk-graph deployment and a receiver set, or None."""
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 120, size=(n_nodes, 2))
+    g = connectivity_graph(pos, 40.0)
+    comp = nx.node_connected_component(g, 0)
+    candidates = sorted(comp - {0})
+    if len(candidates) < n_recv:
+        return None
+    receivers = rng.choice(candidates, size=n_recv, replace=False).tolist()
+    return pos, receivers
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_nodes=st.integers(min_value=8, max_value=40),
+    n_recv=st.integers(min_value=1, max_value=6),
+)
+def test_every_protocol_covers_every_reachable_receiver(seed, n_nodes, n_recv):
+    """Property: on a loss-free medium, each protocol delivers the data
+    packet to every receiver reachable from the source."""
+    inst = _random_connected_instance(seed, n_nodes, n_recv)
+    if inst is None:
+        return
+    pos, receivers = inst
+    for name, factory in FACTORIES.items():
+        sim, _net, agents = build(pos, 40.0, receivers=receivers,
+                                  agent_factory=factory, seed=seed)
+        run_round(sim, agents, settle=3.0)
+        delivered = sim.trace.nodes_with(TraceKind.DELIVER)
+        assert delivered == set(receivers), (name, seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_nodes=st.integers(min_value=8, max_value=30),
+)
+def test_transmitter_set_is_always_feasible(seed, n_nodes):
+    """Property: the nodes that transmitted the data packet always form a
+    feasible MTMR solution (connected, covering) — the protocol can be
+    wasteful but never structurally broken."""
+    from repro.trees.validate import is_valid_transmitter_set
+
+    inst = _random_connected_instance(seed, n_nodes, 3)
+    if inst is None:
+        return
+    pos, receivers = inst
+    sim, net, agents = build(pos, 40.0, receivers=receivers,
+                             agent_factory=lambda: MtmrpAgent(), seed=seed)
+    run_round(sim, agents, settle=3.0)
+    transmitters = sim.trace.nodes_with(TraceKind.TX, "DataPacket")
+    g = net.graph()
+    assert is_valid_transmitter_set(g, transmitters, 0, receivers)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_flood_discipline(seed):
+    """Property: every node rebroadcasts the JoinQuery at most once per
+    round, regardless of topology."""
+    inst = _random_connected_instance(seed, 25, 4)
+    if inst is None:
+        return
+    pos, receivers = inst
+    sim, _net, agents = build(pos, 40.0, receivers=receivers,
+                              agent_factory=lambda: MtmrpAgent(), seed=seed)
+    run_round(sim, agents, settle=3.0)
+    jq_tx = [r.node for r in sim.trace.filter(kind=TraceKind.TX, packet_type="JoinQuery")]
+    assert len(jq_tx) == len(set(jq_tx))

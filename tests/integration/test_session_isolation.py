@@ -1,0 +1,61 @@
+"""Session isolation: marks and state never leak across sources/groups/rounds."""
+
+import numpy as np
+
+from repro.core.mtmrp import MtmrpAgent
+from repro.core.messages import JoinReply
+from repro.mac.ideal import IdealMac
+from repro.net.network import Network
+from repro.net.topology import grid_topology
+from repro.sim.kernel import Simulator
+from tests.core.helpers import build, line_positions, run_round
+
+
+def test_neighbor_marks_keyed_by_full_session():
+    sim, _net, agents = build(line_positions(4), 25.0, receivers=[3],
+                              agent_factory=lambda: MtmrpAgent())
+    run_round(sim, agents, seq=0)
+    table = agents[1].node.neighbor_table
+    assert table.has_forwarder((0, 1, 0))
+    # a different round, group or source shares none of the marks
+    assert not table.has_forwarder((0, 1, 1))
+    assert not table.has_forwarder((0, 2, 0))
+    assert not table.has_forwarder((5, 1, 0))
+
+
+def test_join_reply_is_unicast_to_nexthop_everywhere():
+    """Every JoinReply frame's link-layer dst equals its NexthopID."""
+    sent = []
+
+    class Probe(MtmrpAgent):
+        def send(self, packet):
+            if isinstance(packet, JoinReply):
+                sent.append(packet)
+            super().send(packet)
+
+    sim = Simulator(seed=2)
+    net = Network(sim, grid_topology(5, 5, 100.0), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    rng = np.random.default_rng(2)
+    receivers = rng.choice(np.arange(1, 25), size=6, replace=False).tolist()
+    net.set_group_members(1, receivers)
+    net.bootstrap_neighbor_tables()
+    agents = net.install(lambda node: Probe())
+    net.start()
+    agents[0].request_route(1)
+    sim.run(until=2.0)
+    assert sent
+    for jr in sent:
+        assert jr.dst == jr.nexthop
+
+
+def test_new_round_does_not_reuse_old_coverage():
+    """RelayProfit in round k+1 counts receivers afresh (marks are per
+    session), so a refreshed tree is built from clean state."""
+    sim, _net, agents = build(line_positions(4), 25.0, receivers=[3],
+                              agent_factory=lambda: MtmrpAgent())
+    run_round(sim, agents, seq=0)
+    rp_round0 = agents[2].state_of(0, 1).relay_profit
+    run_round(sim, agents, seq=1)
+    rp_round1 = agents[2].state_of(0, 1).relay_profit
+    assert rp_round0 == rp_round1 == 1  # receiver 3 counted fresh each round

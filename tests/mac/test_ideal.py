@@ -1,0 +1,74 @@
+"""Unit tests for the ideal MAC."""
+
+from repro.mac.ideal import IdealMac
+from repro.net.network import Network
+from repro.net.packet import DataPacket
+from repro.net.topology import grid_topology
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+
+
+def two_node_net(sim):
+    # two nodes 10 m apart, well within range
+    import numpy as np
+
+    pos = np.array([[0.0, 0.0], [10.0, 0.0]])
+    return Network(sim, pos, comm_range=40.0, mac_factory=IdealMac, perfect_channel=True)
+
+
+def test_fixed_access_delay():
+    sim = Simulator(seed=1)
+    net = two_node_net(sim)
+    pkt = DataPacket(src=0)
+    net.node(0).send(pkt)
+    sim.run()
+    tx = list(sim.trace.filter(kind=TraceKind.TX))
+    assert len(tx) == 1
+    assert tx[0].time == 10e-6  # the default access delay
+
+
+def test_queue_serialises_frames():
+    sim = Simulator(seed=1)
+    net = two_node_net(sim)
+    for _ in range(3):
+        net.node(0).send(DataPacket(src=0))
+    sim.run()
+    times = [r.time for r in sim.trace.filter(kind=TraceKind.TX)]
+    assert len(times) == 3
+    airtime = net.channel.airtime(DataPacket(src=0))
+    # consecutive transmissions separated by at least one airtime
+    assert times[1] - times[0] >= airtime
+    assert times[2] - times[1] >= airtime
+
+
+def test_delivery_to_neighbor():
+    sim = Simulator(seed=1)
+    net = two_node_net(sim)
+    got = []
+    net.node(1).on_packet_received = got.append  # type: ignore[method-assign]
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_queue_overflow_drops():
+    sim = Simulator(seed=1)
+    net = two_node_net(sim)
+    mac = net.node(0).mac
+    mac.max_queue = 2
+    for _ in range(5):
+        net.node(0).send(DataPacket(src=0))
+    assert mac.dropped_overflow == 3
+    sim.run()
+    assert sim.trace.count(TraceKind.TX) == 2
+
+
+def test_out_of_range_not_delivered():
+    import numpy as np
+
+    sim = Simulator(seed=1)
+    pos = np.array([[0.0, 0.0], [100.0, 0.0]])
+    net = Network(sim, pos, comm_range=40.0, mac_factory=IdealMac, perfect_channel=True)
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert sim.trace.count(TraceKind.RX) == 0

@@ -1,0 +1,58 @@
+"""Tests for the Agent base class contract."""
+
+import numpy as np
+import pytest
+
+from repro.mac.ideal import IdealMac
+from repro.net.agent import Agent
+from repro.net.network import Network
+from repro.net.packet import DataPacket
+from repro.sim.kernel import Simulator
+
+
+class Minimal(Agent):
+    handled_packets = (DataPacket,)
+
+    def __init__(self):
+        super().__init__()
+        self.got = 0
+
+    def on_packet(self, packet):
+        self.got += 1
+
+
+def test_abstract_on_packet():
+    class Bare(Agent):
+        handled_packets = (DataPacket,)
+
+    sim = Simulator(seed=1)
+    net = Network(sim, np.array([[0.0, 0.0], [10.0, 0.0]]), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    net.node(1).add_agent(Bare())
+    net.node(0).send(DataPacket(src=0))
+    with pytest.raises(NotImplementedError):
+        sim.run()
+
+
+def test_send_via_agent_uses_node_mac():
+    sim = Simulator(seed=1)
+    net = Network(sim, np.array([[0.0, 0.0], [10.0, 0.0]]), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    a0 = Minimal()
+    a1 = Minimal()
+    net.node(0).add_agent(a0)
+    net.node(1).add_agent(a1)
+    a0.send(DataPacket(src=0))
+    sim.run()
+    assert a1.got == 1
+    assert a0.got == 0  # senders do not hear themselves
+
+
+def test_agent_without_attachment_has_no_node():
+    a = Minimal()
+    assert a.node is None
+
+
+def test_default_start_is_noop():
+    a = Minimal()
+    a.start()  # must not raise even unattached

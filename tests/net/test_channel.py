@@ -1,0 +1,109 @@
+"""Unit tests for the wireless channel."""
+
+import numpy as np
+import pytest
+
+from repro.mac.ideal import IdealMac
+from repro.net.channel import Channel
+from repro.net.network import Network
+from repro.net.packet import DataPacket
+from repro.net.topology import grid_topology
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+
+
+def test_reachability_is_disk():
+    sim = Simulator(seed=1)
+    pos = np.array([[0.0, 0.0], [39.9, 0.0], [40.0, 0.0], [40.1, 0.0]])
+    ch = Channel(sim, pos, comm_range=40.0)
+    assert set(ch.neighbors(0).tolist()) == {1, 2}
+
+
+def test_airtime_scales_with_size():
+    sim = Simulator(seed=1)
+    ch = Channel(sim, grid_topology(2, 2, 40.0), comm_range=40.0, bitrate_bps=1e6)
+    pkt = DataPacket(src=0)
+    assert ch.airtime(pkt) == pytest.approx(pkt.size_bits() / 1e6)
+
+
+def test_transmit_reaches_all_in_range():
+    sim = Simulator(seed=1)
+    net = Network(sim, grid_topology(3, 3, 60.0), comm_range=45.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    net.node(4).send(DataPacket(src=4))  # center node: all 8 within 45 m
+    sim.run()
+    assert sim.trace.count(TraceKind.RX) == 8
+
+
+def test_sender_does_not_hear_itself():
+    sim = Simulator(seed=1)
+    net = Network(sim, grid_topology(2, 1, 10.0), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert sim.trace.nodes_with(TraceKind.RX) == {1}
+
+
+def test_energy_charged_tx_and_rx():
+    sim = Simulator(seed=1)
+    net = Network(sim, grid_topology(2, 1, 10.0), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert net.node(0).energy.tx_joules > 0
+    assert net.node(1).energy.rx_joules > 0
+    assert net.node(0).energy.rx_joules == 0
+
+
+def test_perfect_channel_ignores_collisions():
+    sim = Simulator(seed=1)
+    pos = np.array([[0.0, 0.0], [20.0, 0.0], [40.0, 0.0]])
+    net = Network(sim, pos, comm_range=25.0, mac_factory=IdealMac, perfect_channel=True)
+    # 0 and 2 both transmit to 1 simultaneously (out of each other's range)
+    net.node(0).send(DataPacket(src=0))
+    net.node(2).send(DataPacket(src=2))
+    sim.run()
+    assert sim.trace.count(TraceKind.RX) == 2
+    assert sim.trace.count(TraceKind.COLLISION) == 0
+
+
+def test_physical_channel_detects_collisions():
+    sim = Simulator(seed=1)
+    pos = np.array([[0.0, 0.0], [20.0, 0.0], [40.0, 0.0]])
+    net = Network(sim, pos, comm_range=25.0, mac_factory=IdealMac, perfect_channel=False)
+    net.node(0).send(DataPacket(src=0))
+    net.node(2).send(DataPacket(src=2))
+    sim.run()
+    # equidistant senders -> comparable powers -> both frames collide at 1
+    assert sim.trace.count(TraceKind.COLLISION, "DataPacket") == 2
+    assert sim.trace.count(TraceKind.RX) == 0
+    assert net.channel.frames_collided == 2
+
+
+def test_capture_near_sender_wins():
+    sim = Simulator(seed=1)
+    # interferer is >1.78x farther -> >=10 dB weaker under d^4 -> capture
+    pos = np.array([[10.0, 0.0], [0.0, 0.0], [25.0, 0.0]])
+    net = Network(sim, pos, comm_range=30.0, mac_factory=IdealMac, perfect_channel=False)
+    net.node(0).send(DataPacket(src=0))  # 10 m from node 1
+    net.node(2).send(DataPacket(src=2))  # 25 m from node 1
+    sim.run()
+    rx_nodes = [r.node for r in sim.trace.filter(kind=TraceKind.RX)]
+    assert 1 in rx_nodes  # node 1 captured the near frame
+
+
+def test_counters():
+    sim = Simulator(seed=1)
+    net = Network(sim, grid_topology(2, 1, 10.0), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert net.channel.frames_sent == 1
+    assert net.channel.frames_delivered == 1
+
+
+def test_attach_nodes_size_mismatch():
+    sim = Simulator(seed=1)
+    ch = Channel(sim, grid_topology(2, 2, 40.0), comm_range=40.0)
+    with pytest.raises(ValueError):
+        ch.attach_nodes([])

@@ -1,0 +1,140 @@
+"""Tests for the mobility extension."""
+
+import numpy as np
+import pytest
+
+from repro.mac.ideal import IdealMac
+from repro.net.mobility import RandomWaypointMobility
+from repro.net.network import Network
+from repro.net.topology import grid_topology
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+
+
+def make_net(seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, grid_topology(5, 5, 100.0), comm_range=40.0,
+                  mac_factory=IdealMac, perfect_channel=True)
+    return sim, net
+
+
+class TestMovement:
+    def test_nodes_move_after_start(self):
+        sim, net = make_net()
+        before = net.positions.copy()
+        mob = RandomWaypointMobility(net, speed_min=1.0, speed_max=2.0,
+                                     update_interval=0.5)
+        mob.start()
+        sim.run(until=5.0)
+        assert mob.updates == 10
+        assert not np.allclose(before, net.positions)
+
+    def test_pinned_nodes_stay(self):
+        sim, net = make_net()
+        mob = RandomWaypointMobility(net, speed_min=2.0, speed_max=3.0,
+                                     pinned=(0, 7))
+        mob.start()
+        sim.run(until=10.0)
+        assert tuple(net.positions[0]) == (0.0, 0.0)
+        assert net.node(7).position == tuple(grid_topology(5, 5, 100.0)[7])
+
+    def test_positions_stay_in_field(self):
+        sim, net = make_net()
+        mob = RandomWaypointMobility(net, speed_min=5.0, speed_max=10.0)
+        mob.start()
+        sim.run(until=30.0)
+        assert net.positions.min() >= 0.0
+        assert net.positions.max() <= 100.0 + 1e-9
+
+    def test_speed_validation(self):
+        _sim, net = make_net()
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(net, speed_min=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(net, speed_min=2.0, speed_max=1.0)
+
+    def test_start_idempotent(self):
+        sim, net = make_net()
+        mob = RandomWaypointMobility(net, update_interval=1.0)
+        mob.start()
+        mob.start()
+        sim.run(until=3.5)
+        assert mob.updates == 3  # not doubled
+
+
+class TestGeometryUpdates:
+    def test_channel_neighbors_follow_positions(self):
+        sim, net = make_net()
+        # teleport node 1 far away
+        pos = net.positions.copy()
+        pos[1] = (1000.0, 1000.0)
+        net.update_positions(pos)
+        assert 1 not in net.neighbors(0)
+        assert 1 not in set(int(x) for x in net.channel.neighbors(0))
+
+    def test_graph_cache_invalidated(self):
+        _sim, net = make_net()
+        g1 = net.graph()
+        net.update_positions(net.positions.copy())
+        g2 = net.graph()
+        assert g1 is not g2
+
+    def test_shape_mismatch_rejected(self):
+        _sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.channel.update_positions(np.zeros((3, 2)))
+
+    def test_delivery_tracks_movement(self):
+        """After node 1 walks out of range, node 0's broadcast no longer
+        reaches it."""
+        from repro.net.packet import DataPacket
+
+        sim, net = make_net()
+        net.node(0).send(DataPacket(src=0))
+        sim.run()
+        assert 1 in sim.trace.nodes_with(TraceKind.RX)
+        pos = net.positions.copy()
+        pos[1] = (999.0, 999.0)
+        net.update_positions(pos)
+        sim.trace.clear()
+        net.node(0).send(DataPacket(src=0))
+        sim.run()
+        assert 1 not in sim.trace.nodes_with(TraceKind.RX)
+
+
+class TestSlowMobilityScenario:
+    def test_multicast_survives_slow_mobility_with_refresh(self):
+        """The paper's 'locations change slowly' regime: HELLO + periodic
+        refresh keep delivery high while nodes drift."""
+        from repro.core.mtmrp import MtmrpAgent
+
+        sim = Simulator(seed=9)
+        net = Network(sim, grid_topology(), comm_range=40.0,
+                      mac_factory=IdealMac, perfect_channel=True)
+        rng = np.random.default_rng(2)
+        receivers = rng.choice(np.arange(1, 100), size=10, replace=False).tolist()
+        net.set_group_members(1, receivers)
+        net.install_hello(period=1.0, expiry=3.5)
+        # fg_timeout = 2x the refresh interval: without the soft state a
+        # refresh round wipes FG flags while a data packet is in flight
+        # (the classic ODMRP race the mesh soft state exists for).
+        agents = net.install(lambda node: MtmrpAgent(fg_timeout=6.0))
+        net.start()
+        mob = RandomWaypointMobility(net, speed_min=0.2, speed_max=0.5,
+                                     update_interval=1.0)  # <= 0.5 m/s
+        mob.start()
+        sim.run(until=3.0)
+        agents[0].request_route(1)
+        agents[0].start_periodic_refresh(1, interval=3.0)
+        sim.run(until=6.0)
+        delivered = []
+        for k in range(4):
+            agents[0].send_data(1, k)
+            sim.run(until=sim.now + 3.0)
+            got = {
+                r.node for r in sim.trace.filter(kind=TraceKind.DELIVER)
+                if r.detail == (0, 1, k)
+            }
+            delivered.append(len(got))
+        # slow drift + refresh: on average nearly all receivers served
+        assert np.mean(delivered) >= 8.5

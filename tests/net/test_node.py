@@ -1,0 +1,113 @@
+"""Unit tests for nodes and agent dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.mac.ideal import IdealMac
+from repro.net.agent import Agent
+from repro.net.network import Network
+from repro.net.packet import DataPacket, HelloPacket
+from repro.sim.kernel import Simulator
+
+
+class Recorder(Agent):
+    handled_packets = (DataPacket,)
+
+    def __init__(self):
+        super().__init__()
+        self.got = []
+        self.started = False
+
+    def start(self):
+        self.started = True
+
+    def on_packet(self, packet):
+        self.got.append(packet)
+
+
+def two_nodes():
+    sim = Simulator(seed=1)
+    pos = np.array([[0.0, 0.0], [10.0, 0.0]])
+    net = Network(sim, pos, comm_range=40.0, mac_factory=IdealMac, perfect_channel=True)
+    return sim, net
+
+
+def test_dispatch_by_packet_class():
+    sim, net = two_nodes()
+    rec = Recorder()
+    net.node(1).add_agent(rec)
+    net.node(0).send(DataPacket(src=0))
+    net.node(0).send(HelloPacket(src=0))
+    sim.run()
+    assert len(rec.got) == 1  # only the DataPacket
+
+
+def test_multiple_agents_both_receive():
+    sim, net = two_nodes()
+    a, b = Recorder(), Recorder()
+    net.node(1).add_agent(a)
+    net.node(1).add_agent(b)
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert len(a.got) == 1 and len(b.got) == 1
+
+
+def test_start_agents():
+    _sim, net = two_nodes()
+    rec = Recorder()
+    net.node(0).add_agent(rec)
+    net.start()
+    assert rec.started
+
+
+def test_group_membership():
+    _sim, net = two_nodes()
+    n = net.node(0)
+    assert not n.is_member(1)
+    n.join_group(1)
+    assert n.is_member(1)
+    n.leave_group(1)
+    assert not n.is_member(1)
+
+
+def test_failed_node_neither_sends_nor_receives():
+    sim, net = two_nodes()
+    rec = Recorder()
+    net.node(1).add_agent(rec)
+    net.node(1).fail()
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert rec.got == []
+    net.node(1).recover()
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert len(rec.got) == 1
+
+
+def test_failed_node_send_is_noop():
+    sim, net = two_nodes()
+    net.node(0).fail()
+    net.node(0).send(DataPacket(src=0))
+    sim.run()
+    assert net.channel.frames_sent == 0
+
+
+def test_agent_of_unique_lookup():
+    _sim, net = two_nodes()
+    rec = Recorder()
+    net.node(0).add_agent(rec)
+    assert net.node(0).agent_of(Recorder) is rec
+    with pytest.raises(LookupError):
+        net.node(1).agent_of(Recorder)
+    net.node(0).add_agent(Recorder())
+    with pytest.raises(LookupError):
+        net.node(0).agent_of(Recorder)
+
+
+def test_agent_convenience_accessors():
+    _sim, net = two_nodes()
+    rec = Recorder()
+    net.node(1).add_agent(rec)
+    assert rec.node_id == 1
+    assert rec.network is net
+    assert rec.sim is net.sim

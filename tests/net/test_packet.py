@@ -1,0 +1,64 @@
+"""Unit tests for packet definitions."""
+
+from repro.core.messages import JoinQuery, JoinReply, RouteError
+from repro.net.packet import BROADCAST, AckFrame, DataPacket, HelloPacket, Packet
+
+
+def test_uids_are_unique():
+    uids = {Packet(src=0).uid for _ in range(100)}
+    assert len(uids) == 100
+
+
+def test_default_dst_is_broadcast():
+    assert Packet(src=1).dst == BROADCAST
+
+
+def test_ptype_is_class_name():
+    assert DataPacket(src=0).ptype == "DataPacket"
+    assert JoinQuery(src=0).ptype == "JoinQuery"
+
+
+def test_clone_for_forwarding_fresh_uid_new_src():
+    p = DataPacket(src=0, source=0, group=1, seq=2)
+    q = p.clone_for_forwarding(7)
+    assert q.uid != p.uid
+    assert q.src == 7
+    assert (q.source, q.group, q.seq) == (0, 1, 2)
+    assert isinstance(q, DataPacket)
+
+
+def test_flow_key_stable_across_hops():
+    p = DataPacket(src=0, source=0, group=1, seq=9)
+    assert p.clone_for_forwarding(3).flow_key == p.flow_key == (0, 1, 9)
+
+
+def test_size_accounting_ordering():
+    """Data (with payload) is the largest; ACK the smallest."""
+    data = DataPacket(src=0).size_bits()
+    jq = JoinQuery(src=0).size_bits()
+    ack = AckFrame(src=0).size_bits()
+    assert ack < jq < data
+
+
+def test_hello_grows_with_groups():
+    small = HelloPacket(src=0, groups=frozenset())
+    big = HelloPacket(src=0, groups=frozenset({1, 2, 3}))
+    assert big.size_bits() > small.size_bits()
+
+
+def test_join_query_session():
+    jq = JoinQuery(src=2, source=0, group=1, seq=5)
+    assert jq.session == (0, 1, 5)
+
+
+def test_join_reply_original_detection():
+    orig = JoinReply(src=9, receiver=9, nexthop=3, source=0, group=1, seq=0)
+    relay = JoinReply(src=3, receiver=9, nexthop=2, source=0, group=1, seq=0)
+    assert orig.is_original
+    assert not relay.is_original
+
+
+def test_route_error_session():
+    re = RouteError(src=4, receiver=4, source=0, group=1, seq=2, failed_node=7)
+    assert re.session == (0, 1, 2)
+    assert re.failed_node == 7

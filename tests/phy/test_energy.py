@@ -1,0 +1,38 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.phy.energy import EnergyAccount, EnergyModel
+
+
+def test_tx_energy_scales_with_bits():
+    m = EnergyModel()
+    assert m.tx_energy(2000) == pytest.approx(2 * m.tx_energy(1000))
+
+
+def test_airtime():
+    m = EnergyModel(bitrate_bps=1e6)
+    assert m.airtime(1000) == pytest.approx(1e-3)
+
+
+def test_rx_costs_more_than_tx_for_cc2420_defaults():
+    """CC2420-class radios famously spend more on RX than TX."""
+    m = EnergyModel()
+    assert m.rx_energy(1000) > m.tx_energy(1000)
+
+
+def test_account_accumulates():
+    a = EnergyAccount()
+    a.charge_tx(0.5)
+    a.charge_rx(0.25)
+    assert a.consumed == pytest.approx(0.75)
+    assert a.remaining == pytest.approx(a.initial_joules - 0.75)
+
+
+def test_account_depletion_flag():
+    a = EnergyAccount(initial_joules=1.0)
+    a.charge_tx(0.6)
+    assert not a.depleted
+    a.charge_rx(0.5)
+    assert a.depleted
+    assert a.remaining == 0.0

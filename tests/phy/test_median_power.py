@@ -1,0 +1,61 @@
+"""Tests for median power and fading-calibrated thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import LogDistance, TwoRayGround, range_to_threshold
+
+
+def tworay_matched_logdistance(sigma=0.0, rng=None):
+    """LogDistance calibrated so its median equals TwoRayGround exactly."""
+    return LogDistance(
+        reference_distance=1.0,
+        reference_power_factor=(1.5 * 1.5) ** 2,
+        path_loss_exponent=4.0,
+        shadowing_sigma_db=sigma,
+        rng=rng,
+    )
+
+
+def test_median_equals_receive_power_for_deterministic_models():
+    m = TwoRayGround()
+    for d in (5.0, 20.0, 40.0):
+        assert m.median_receive_power(1.0, d) == m.receive_power(1.0, d)
+
+
+def test_matched_logdistance_median_equals_tworay():
+    tworay = TwoRayGround()
+    logd = tworay_matched_logdistance()
+    for d in (1.0, 10.0, 40.0, 100.0):
+        assert logd.median_receive_power(1.0, d) == pytest.approx(
+            tworay.receive_power(1.0, d)
+        )
+
+
+def test_threshold_from_median_not_a_fading_draw():
+    """range_to_threshold must be deterministic even for fading models."""
+    rng = np.random.default_rng(1)
+    m = tworay_matched_logdistance(sigma=6.0, rng=rng)
+    t1 = range_to_threshold(m, 1.0, 40.0)
+    t2 = range_to_threshold(m, 1.0, 40.0)
+    assert t1 == t2  # no random draw consumed
+    assert t1 == pytest.approx(range_to_threshold(TwoRayGround(), 1.0, 40.0))
+
+
+def test_shadowed_power_fluctuates_around_median():
+    rng = np.random.default_rng(2)
+    m = tworay_matched_logdistance(sigma=4.0, rng=rng)
+    median = m.median_receive_power(1.0, 40.0)
+    draws = np.array([m.receive_power(1.0, 40.0) for _ in range(400)])
+    # log-normal in dB: the *median* of draws is the deterministic value
+    assert np.median(draws) == pytest.approx(median, rel=0.25)
+    assert (draws > median).mean() == pytest.approx(0.5, abs=0.1)
+
+
+def test_shadowing_fraction_of_nominal_links_lost():
+    """At the exact nominal range, a shadowed link is up ~half the time."""
+    rng = np.random.default_rng(3)
+    m = tworay_matched_logdistance(sigma=4.0, rng=rng)
+    thr = range_to_threshold(m, 1.0, 40.0)
+    up = np.array([m.receive_power(1.0, 40.0) >= thr for _ in range(400)])
+    assert 0.35 <= up.mean() <= 0.65

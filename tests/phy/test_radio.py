@@ -1,0 +1,110 @@
+"""Unit tests for the radio state machine and capture model."""
+
+from repro.phy.radio import Radio, RadioState
+
+
+def mk():
+    return Radio(node_id=0, capture_threshold_db=10.0)
+
+
+class TestSingleReception:
+    def test_clean_reception_survives(self):
+        r = mk()
+        rec = r.begin_reception("f", now=0.0, duration=1.0, power=1.0)
+        assert r.finish_reception(rec, now=1.0) is True
+
+    def test_state_transitions(self):
+        r = mk()
+        assert r.state is RadioState.IDLE
+        rec = r.begin_reception("f", 0.0, 1.0, 1.0)
+        assert r.state is RadioState.RX
+        r.finish_reception(rec, 1.0)
+        assert r.state is RadioState.IDLE
+
+
+class TestCollisions:
+    def test_comparable_powers_destroy_both(self):
+        r = mk()
+        a = r.begin_reception("a", 0.0, 1.0, 1.0)
+        b = r.begin_reception("b", 0.5, 1.0, 1.0)
+        assert r.finish_reception(a, 1.0) is False
+        assert r.finish_reception(b, 1.5) is False
+
+    def test_first_frame_capture_survives_weak_interferer(self):
+        """ns-2 semantics: locked frame survives a >=10 dB weaker overlap."""
+        r = mk()
+        a = r.begin_reception("a", 0.0, 1.0, power=1.0)
+        b = r.begin_reception("b", 0.5, 1.0, power=0.05)  # -13 dB
+        assert r.finish_reception(a, 1.0) is True
+        assert r.finish_reception(b, 1.5) is False
+
+    def test_stronger_newcomer_captures(self):
+        r = mk()
+        a = r.begin_reception("a", 0.0, 1.0, power=0.05)
+        b = r.begin_reception("b", 0.5, 1.0, power=1.0)  # +13 dB
+        assert r.finish_reception(a, 1.0) is False
+        assert r.finish_reception(b, 1.5) is True
+
+    def test_third_frame_compares_against_new_lock(self):
+        r = mk()
+        a = r.begin_reception("a", 0.0, 2.0, power=1.0)
+        b = r.begin_reception("b", 0.5, 2.0, power=0.01)  # doomed, a stays locked
+        c = r.begin_reception("c", 1.0, 2.0, power=0.5)  # comparable to a: both die
+        assert r.finish_reception(a, 2.0) is False
+        assert r.finish_reception(b, 2.5) is False
+        assert r.finish_reception(c, 3.0) is False
+
+    def test_non_overlapping_receptions_both_survive(self):
+        r = mk()
+        a = r.begin_reception("a", 0.0, 1.0, 1.0)
+        assert r.finish_reception(a, 1.0) is True
+        b = r.begin_reception("b", 2.0, 1.0, 1.0)
+        assert r.finish_reception(b, 3.0) is True
+
+
+class TestHalfDuplex:
+    def test_arrival_during_tx_is_lost(self):
+        r = mk()
+        r.begin_tx(0.0, 1.0)
+        rec = r.begin_reception("f", 0.5, 1.0, 1.0)
+        assert rec.intact is False
+
+    def test_begin_tx_dooms_in_flight_reception(self):
+        r = mk()
+        rec = r.begin_reception("f", 0.0, 2.0, 1.0)
+        r.begin_tx(0.5, 0.5)
+        assert rec.intact is False
+
+    def test_end_tx_restores_idle(self):
+        r = mk()
+        r.begin_tx(0.0, 1.0)
+        assert r.state is RadioState.TX
+        r.end_tx(1.0)
+        assert r.state is RadioState.IDLE
+
+
+class TestCarrierSense:
+    def test_idle_medium(self):
+        assert mk().medium_busy(0.0) is False
+
+    def test_busy_during_reception(self):
+        r = mk()
+        r.begin_reception("f", 0.0, 1.0, 1.0)
+        assert r.medium_busy(0.5) is True
+        assert r.medium_busy(1.5) is False
+
+    def test_busy_during_own_tx(self):
+        r = mk()
+        r.begin_tx(0.0, 1.0)
+        assert r.medium_busy(0.5) is True
+
+    def test_busy_until_reports_latest_end(self):
+        r = mk()
+        r.begin_reception("a", 0.0, 1.0, 1.0)
+        r.begin_reception("b", 0.5, 1.0, 1.0)
+        assert r.busy_until(0.6) == 1.5
+
+    def test_busy_until_with_tx(self):
+        r = mk()
+        r.begin_tx(0.0, 2.0)
+        assert r.busy_until(0.1) == 2.0

@@ -1,0 +1,104 @@
+"""Tests for the shared on-demand multicast machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import JoinQuery, JoinReply
+from repro.protocols.base import OnDemandMulticastAgent, SessionState
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import build, delivered_nodes, line_positions, run_round
+
+
+def base_agent():
+    return lambda: OdmrpAgent()  # the base class with default hooks
+
+
+class TestSessionLifecycle:
+    def test_request_route_increments_seq(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=base_agent())
+        s0 = agents[0].request_route(1)
+        sim.run(until=sim.now + 1.0)
+        s1 = agents[0].request_route(1)
+        assert s0 == (0, 1, 0)
+        assert s1 == (0, 1, 1)
+
+    def test_groups_are_independent(self):
+        sim, net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                 agent_factory=base_agent())
+        net.set_group_members(9, [1])
+        net.bootstrap_neighbor_tables()
+        agents[0].request_route(1)
+        agents[0].request_route(9)
+        sim.run(until=sim.now + 2.0)
+        assert agents[2].state_of(0, 1) is not None
+        assert agents[1].state_of(0, 9).covered
+
+    def test_stale_query_dropped(self):
+        """A JoinQuery from an older round than the current one is ignored."""
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=base_agent())
+        run_round(sim, agents)          # round 0
+        run_round(sim, agents, seq=1)   # round 1 (request_route bumps seq)
+        # forge a stale round-0 query at node 1
+        stale = JoinQuery(src=0, source=0, group=1, seq=0)
+        before = agents[1].state_of(0, 1).seq
+        agents[1].on_packet(stale)
+        assert agents[1].state_of(0, 1).seq == before
+        assert sim.trace.counts[(TraceKind.DROP, "JoinQuery")] > 0
+
+    def test_reply_without_session_dropped(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=base_agent())
+        jr = JoinReply(src=2, dst=1, nexthop=1, receiver=2, source=0, group=1, seq=0)
+        agents[1].on_packet(jr)  # no JoinQuery seen yet
+        assert agents[1].state_of(0, 1) is None
+        assert sim.trace.counts[(TraceKind.DROP, "JoinReply")] == 1
+
+
+class TestDataPath:
+    def test_duplicate_data_dropped(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=base_agent())
+        run_round(sim, agents)
+        assert sim.trace.count(TraceKind.DELIVER) == 1
+        # receiver hears the same flow from multiple transmitters at most
+        # once at the app layer
+        assert len(agents[2].delivered) == 1
+
+    def test_last_data_from_tracked(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=base_agent())
+        run_round(sim, agents)
+        assert agents[2].last_data_from[(0, 1)] == 1
+
+    def test_data_before_route_goes_nowhere(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=base_agent())
+        agents[0].send_data(1, 0)
+        sim.run(until=sim.now + 1.0)
+        # neighbors hear it but nobody forwards (no forwarders yet)
+        assert sim.trace.count(TraceKind.TX, "DataPacket") == 1
+        assert delivered_nodes(sim) == set()
+
+
+class TestStats:
+    def test_stats_keys_complete(self):
+        a = OdmrpAgent()
+        assert set(a.stats) == {
+            "queries_forwarded",
+            "replies_originated",
+            "replies_forwarded",
+            "replies_suppressed",
+            "handovers",
+            "data_forwarded",
+            "route_errors_sent",
+        }
+
+    def test_session_state_defaults(self):
+        st = SessionState(source=0, group=1, seq=2, upstream=5)
+        assert not st.is_forwarder and not st.covered and not st.replied
+        assert st.session == (0, 1, 2)
+        assert st.acted_nexthop_for == set()
+        assert st.downstream_children == set()

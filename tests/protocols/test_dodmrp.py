@@ -1,0 +1,74 @@
+"""Behavioural tests for the DODMRP baseline (destination-driven backoff)."""
+
+import numpy as np
+
+from repro.core.messages import JoinQuery
+from repro.protocols.base import SessionState
+from repro.protocols.dodmrp import DodmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import build, delivered_nodes, forwarders_of, run_round
+
+
+def dodmrp(**kw):
+    return lambda: DodmrpAgent(**kw)
+
+
+class TestDelayPolicy:
+    def _delay(self, agents, node, jq):
+        st = SessionState(source=0, group=1, seq=0, upstream=0)
+        return agents[node].query_forward_delay(jq, st)
+
+    def test_members_faster_than_nonmembers(self):
+        pos = [[0, 0], [20, 0], [40, 0]]
+        _sim, _net, agents = build(pos, 25.0, receivers=[1], agent_factory=dodmrp())
+        jq = JoinQuery(src=0, source=0, group=1, seq=0)
+        member_delays = [self._delay(agents, 1, jq) for _ in range(30)]
+        nonmember_delays = [self._delay(agents, 2, jq) for _ in range(30)]
+        assert max(member_delays) < min(nonmember_delays) + 2e-3  # penalty dominates
+        assert np.mean(member_delays) < np.mean(nonmember_delays)
+
+    def test_penalty_parameterisable(self):
+        pos = [[0, 0], [20, 0]]
+        _sim, _net, agents = build(pos, 25.0, receivers=[],
+                                   agent_factory=dodmrp(jitter=1e-3, nonmember_penalty=50e-3))
+        jq = JoinQuery(src=0, source=0, group=1, seq=0)
+        d = self._delay(agents, 1, jq)
+        assert d >= 50e-3
+
+
+class TestDestinationDriven:
+    def test_member_path_preferred(self):
+        """Fig. 2-style diamond: the member-side relay must win."""
+        pos = [
+            [0, 0],     # 0 S
+            [20, 15],   # 1 B non-member
+            [20, -15],  # 2 C member (receiver)
+            [40, 0],    # 3 D receiver
+        ]
+        wins = 0
+        for seed in range(10):
+            sim, _net, agents = build(pos, 26.0, receivers=[2, 3],
+                                      agent_factory=dodmrp(), seed=seed)
+            run_round(sim, agents)
+            assert delivered_nodes(sim) == {2, 3}
+            if forwarders_of(agents) == {2}:
+                wins += 1
+        assert wins == 10  # penalty >> jitter here, so deterministic
+
+    def test_fewer_extra_nodes_than_odmrp_on_grid(self):
+        from repro.net.topology import grid_topology
+        from repro.protocols.odmrp import OdmrpAgent
+
+        def extra(factory):
+            out = []
+            for seed in range(8):
+                rng = np.random.default_rng(seed)
+                receivers = rng.choice(np.arange(1, 100), size=20, replace=False).tolist()
+                sim, _net, agents = build(grid_topology(), 40.0, receivers=receivers,
+                                          agent_factory=factory, seed=seed)
+                run_round(sim, agents)
+                tx_nodes = sim.trace.nodes_with(TraceKind.TX, "DataPacket")
+                out.append(len(tx_nodes - set(receivers) - {0}))
+            return float(np.mean(out))
+
+        assert extra(dodmrp()) < extra(lambda: OdmrpAgent())

@@ -1,0 +1,115 @@
+"""Behavioural tests for the GMR-style stateless geographic multicast."""
+
+import numpy as np
+import pytest
+
+from repro.mac.ideal import IdealMac
+from repro.net.network import Network
+from repro.net.topology import grid_topology
+from repro.protocols.gmr import GmrAgent
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+from tests.core.helpers import line_positions
+
+
+def geo_net(positions, comm=25.0, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim, np.asarray(positions, dtype=float), comm_range=comm,
+                  mac_factory=IdealMac, perfect_channel=True)
+    net.bootstrap_neighbor_tables(with_positions=True)
+    agents = net.install(lambda node: GmrAgent())
+    net.start()
+    return sim, net, agents
+
+
+def _multicast(sim, net, agents, dests, group=1, seq=0):
+    positions = {d: net.node(d).position for d in dests}
+    agents[0].multicast(group, positions, seq=seq)
+    sim.run(until=sim.now + 2.0)
+
+
+class TestLine:
+    def test_delivery_along_line(self):
+        sim, net, agents = geo_net(line_positions(5))
+        _multicast(sim, net, agents, [4])
+        assert sim.trace.nodes_with(TraceKind.DELIVER) == {4}
+
+    def test_transmissions_equal_path_relays(self):
+        sim, net, agents = geo_net(line_positions(5))
+        _multicast(sim, net, agents, [4])
+        # greedy geographic: 0 -> 1 -> 2 -> 3, receiver 4 hears 3
+        assert sim.trace.count(TraceKind.TX, "GeoDataPacket") == 4
+
+    def test_neighbor_destination_costs_one_broadcast(self):
+        sim, net, agents = geo_net(line_positions(3))
+        _multicast(sim, net, agents, [1])
+        assert sim.trace.count(TraceKind.TX, "GeoDataPacket") == 1
+
+
+class TestSplitting:
+    def test_splits_toward_diverging_destinations(self):
+        """A Y-shaped instance forces the packet to split."""
+        pos = [
+            [0, 0],      # 0 source
+            [20, 0],     # 1 junction
+            [40, 15],    # 2 upper relay
+            [40, -15],   # 3 lower relay
+            [60, 25],    # 4 upper receiver
+            [60, -25],   # 5 lower receiver
+        ]
+        sim, net, agents = geo_net(pos, comm=27.0)
+        _multicast(sim, net, agents, [4, 5])
+        assert sim.trace.nodes_with(TraceKind.DELIVER) == {4, 5}
+        assert sum(a.stats["splits"] for a in agents) >= 1
+
+    def test_shared_relay_single_copy(self):
+        """Destinations behind the same neighbor share one transmission."""
+        pos = [[0, 0], [20, 0], [40, 10], [40, -10]]
+        sim, net, agents = geo_net(pos, comm=25.0)
+        _multicast(sim, net, agents, [2, 3])
+        assert sim.trace.nodes_with(TraceKind.DELIVER) == {2, 3}
+        assert sim.trace.count(TraceKind.TX, "GeoDataPacket") == 2  # 0 and 1
+
+
+class TestVoid:
+    def test_local_minimum_counts_stuck(self):
+        """No neighbor makes progress toward an isolated far receiver:
+        greedy-only GMR gives up (no perimeter fallback)."""
+        pos = [
+            [0, 0],     # 0 source
+            [20, 0],    # 1 only neighbor, but *behind* the destination line
+            [-40, 0],   # 2 receiver on the opposite side, unreachable greedily
+        ]
+        sim, net, agents = geo_net(pos, comm=25.0)
+        _multicast(sim, net, agents, [2])
+        assert sim.trace.nodes_with(TraceKind.DELIVER) == set()
+        assert agents[0].stats["stuck"] == 1
+
+
+class TestGrid:
+    def test_full_delivery_on_dense_grid(self):
+        sim = Simulator(seed=4)
+        net = Network(sim, grid_topology(), comm_range=40.0,
+                      mac_factory=IdealMac, perfect_channel=True)
+        net.bootstrap_neighbor_tables(with_positions=True)
+        agents = net.install(lambda node: GmrAgent())
+        net.start()
+        rng = np.random.default_rng(6)
+        dests = rng.choice(np.arange(1, 100), size=15, replace=False).tolist()
+        positions = {d: net.node(d).position for d in dests}
+        agents[0].multicast(1, positions)
+        sim.run(until=2.0)
+        assert sim.trace.nodes_with(TraceKind.DELIVER) == set(dests)
+
+    def test_stateless_no_tree_state(self):
+        """GMR keeps no per-session forwarding state beyond dup filters."""
+        a = GmrAgent()
+        assert not hasattr(a, "sessions")
+
+    def test_duplicate_flow_not_reforwarded(self):
+        sim, net, agents = geo_net(line_positions(4))
+        _multicast(sim, net, agents, [3], seq=0)
+        tx1 = sim.trace.count(TraceKind.TX, "GeoDataPacket")
+        _multicast(sim, net, agents, [3], seq=0)  # same flow key again
+        # the source's own dup filter stops it entirely
+        assert sim.trace.count(TraceKind.TX, "GeoDataPacket") == tx1

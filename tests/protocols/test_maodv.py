@@ -1,0 +1,93 @@
+"""Behavioural tests for the MAODV-style strict-tree baseline."""
+
+import numpy as np
+
+from repro.protocols.maodv import MaodvAgent
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import (
+    build,
+    data_tx_count,
+    delivered_nodes,
+    forwarders_of,
+    line_positions,
+    run_round,
+)
+
+
+def maodv():
+    return lambda: MaodvAgent()
+
+
+class TestTreeConstruction:
+    def test_line_delivery(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=maodv())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {3}
+
+    def test_children_recorded_along_branch(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=maodv())
+        run_round(sim, agents)
+        assert agents[0].children_of(0, 1) == {1}
+        assert agents[1].children_of(0, 1) == {2}
+        assert agents[2].children_of(0, 1) == {3}
+
+    def test_refresh_round_resets_children(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=maodv())
+        run_round(sim, agents, seq=0)
+        assert agents[1].children_of(0, 1) == {2}
+        run_round(sim, agents, seq=1)
+        assert agents[1].children_of(0, 1) == {2}  # rebuilt, not accumulated
+
+    def test_prune_child(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=maodv())
+        run_round(sim, agents)
+        agents[1].prune_child(0, 1, 2)
+        assert agents[1].children_of(0, 1) == set()
+
+
+class TestStrictTreeDataPlane:
+    def test_off_tree_copies_ignored(self):
+        """A diamond gives every inner node two potential parents; the
+        strict tree accepts data only from the chosen one."""
+        pos = [[0, 0], [20, 10], [20, -10], [40, 0]]
+        sim, _net, agents = build(pos, 25.0, receivers=[3], agent_factory=maodv())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {3}
+        # at most one of the two inner relays is on the tree
+        assert len(forwarders_of(agents) & {1, 2}) == 1
+
+    def test_broken_parent_starves_subtree(self):
+        """The family's brittleness: killing the branch relay silences the
+        receiver until the next GroupHello round rebuilds the tree."""
+        sim, net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=maodv())
+        run_round(sim, agents)
+        net.node(1).fail()
+        agents[0].send_data(1, 1)
+        sim.run(until=sim.now + 1.0)
+        got = {
+            r.node for r in sim.trace.filter(kind=TraceKind.DELIVER)
+            if r.detail == (0, 1, 1)
+        }
+        assert got == set()
+
+    def test_comparable_cost_to_odmrp_on_grid(self):
+        """A single-source tree and the forwarding-group mesh cost about
+        the same transmissions per packet; the difference is robustness."""
+        from repro.net.topology import grid_topology
+
+        def mean_cost(factory):
+            vals = []
+            for seed in range(6):
+                rng = np.random.default_rng(seed)
+                receivers = rng.choice(np.arange(1, 100), size=15, replace=False).tolist()
+                sim, _net, agents = build(grid_topology(), 40.0, receivers=receivers,
+                                          agent_factory=factory, seed=seed)
+                run_round(sim, agents)
+                assert delivered_nodes(sim) == set(receivers)
+                vals.append(data_tx_count(sim))
+            return float(np.mean(vals))
+
+        maodv_cost = mean_cost(maodv())
+        odmrp_cost = mean_cost(lambda: OdmrpAgent())
+        assert abs(maodv_cost - odmrp_cost) <= 4.0

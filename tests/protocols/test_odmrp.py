@@ -1,0 +1,84 @@
+"""Behavioural tests for the ODMRP baseline."""
+
+import numpy as np
+
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import (
+    build,
+    data_tx_count,
+    delivered_nodes,
+    forwarders_of,
+    line_positions,
+    run_round,
+)
+
+
+def odmrp():
+    return lambda: OdmrpAgent()
+
+
+class TestBasics:
+    def test_line_delivery(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=odmrp())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {3}
+        assert forwarders_of(agents) == {1, 2}
+        assert data_tx_count(sim) == 3
+
+    def test_every_receiver_originates_a_reply(self):
+        """ODMRP has no suppression: replies == receivers."""
+        pos = [[0, 0], [20, 0], [40, 10], [40, -10], [20, 20]]
+        sim, _net, agents = build(pos, 25.0, receivers=[2, 3, 4], agent_factory=odmrp())
+        run_round(sim, agents)
+        assert sum(a.stats["replies_originated"] for a in agents) == 3
+
+    def test_no_overhearing_state(self):
+        """ODMRP ignores replies not addressed to it: no neighbor marks."""
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[3], agent_factory=odmrp())
+        run_round(sim, agents)
+        session = (0, 1, 0)
+        for a in agents:
+            for entry_id in a.node.neighbor_table.ids():
+                e = a.node.neighbor_table.entry(entry_id)
+                assert session not in e.covered_sessions
+                assert session not in e.forwarder_sessions
+
+    def test_join_query_flood_covers_network(self):
+        sim, _net, agents = build(line_positions(6), 25.0, receivers=[5], agent_factory=odmrp())
+        run_round(sim, agents, settle=3.0)
+        assert sim.trace.count(TraceKind.TX, "JoinQuery") == 6
+
+    def test_relay_profit_hook_returns_zero(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2], agent_factory=odmrp())
+        run_round(sim, agents)
+        assert all(
+            st.relay_profit == 0
+            for a in agents
+            for st in a.sessions.values()
+        )
+
+
+class TestForwardingGroup:
+    def test_forwarding_group_is_union_of_reverse_paths(self):
+        """Y topology: two receivers behind a shared stem."""
+        pos = [
+            [0, 0],     # 0 S
+            [20, 0],    # 1 stem
+            [40, 10],   # 2 branch a
+            [40, -10],  # 3 branch b
+            [60, 10],   # 4 R1
+            [60, -10],  # 5 R2
+        ]
+        sim, _net, agents = build(pos, 25.0, receivers=[4, 5], agent_factory=odmrp())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {4, 5}
+        assert forwarders_of(agents) == {1, 2, 3}
+        assert data_tx_count(sim) == 4
+
+    def test_receiver_in_middle_forwards(self):
+        sim, _net, agents = build(line_positions(4), 25.0, receivers=[2, 3], agent_factory=odmrp())
+        run_round(sim, agents)
+        assert delivered_nodes(sim) == {2, 3}
+        st2 = agents[2].state_of(0, 1)
+        assert st2.covered and st2.is_forwarder

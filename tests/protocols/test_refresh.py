@@ -1,0 +1,92 @@
+"""Tests for periodic route refresh and forwarding-group soft state."""
+
+import numpy as np
+
+from repro.core.mtmrp import MtmrpAgent
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import build, delivered_nodes, line_positions, run_round
+
+
+class TestPeriodicRefresh:
+    def test_refresh_refloods(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent())
+        agents[0].request_route(1)
+        agents[0].start_periodic_refresh(1, interval=1.0)
+        sim.run(until=3.5)
+        # initial round + refreshes at t=1, 2, 3
+        assert agents[0].state_of(0, 1).seq == 3
+
+    def test_stop_refresh(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent())
+        agents[0].request_route(1)
+        agents[0].start_periodic_refresh(1, interval=1.0)
+        sim.run(until=1.5)
+        agents[0].stop_periodic_refresh(1)
+        sim.run(until=5.0)
+        assert agents[0].state_of(0, 1).seq == 1
+
+    def test_double_start_is_idempotent(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent())
+        agents[0].request_route(1)
+        agents[0].start_periodic_refresh(1, interval=1.0)
+        agents[0].start_periodic_refresh(1, interval=0.1)  # ignored
+        sim.run(until=2.5)
+        assert agents[0].state_of(0, 1).seq == 2
+
+    def test_membership_joined_late_is_picked_up(self):
+        """A node that joins the group after round 0 is covered by the next
+        refresh round."""
+        sim, net, agents = build(line_positions(4), 25.0, receivers=[2],
+                                 agent_factory=lambda: OdmrpAgent())
+        agents[0].request_route(1)
+        agents[0].start_periodic_refresh(1, interval=1.0)
+        sim.run(until=0.5)
+        net.node(3).join_group(1)  # late joiner
+        sim.run(until=2.5)
+        agents[0].send_data(1, 0)
+        sim.run(until=3.5)
+        assert delivered_nodes(sim) == {2, 3}
+
+
+class TestForwardingGroupSoftState:
+    def test_soft_state_bridges_refresh_gap(self):
+        """With fg_timeout, a forwarder from round k still forwards data
+        while round k+1's JoinReply is in flight (ODMRP mesh behaviour)."""
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent(fg_timeout=10.0))
+        run_round(sim, agents)
+        # wipe the hard state as a refresh would, keep only soft state
+        st = agents[1].state_of(0, 1)
+        st.is_forwarder = False
+        agents[0].send_data(1, 1)
+        sim.run(until=sim.now + 1.0)
+        deliveries = [r for r in sim.trace.filter(kind=TraceKind.DELIVER)
+                      if r.detail == (0, 1, 1)]
+        assert len(deliveries) == 1  # soft state forwarded the packet
+
+    def test_soft_state_expires(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent(fg_timeout=0.5))
+        run_round(sim, agents)
+        st = agents[1].state_of(0, 1)
+        st.is_forwarder = False
+        sim.run(until=sim.now + 2.0)  # timeout long past
+        agents[0].send_data(1, 1)
+        sim.run(until=sim.now + 1.0)
+        deliveries = [r for r in sim.trace.filter(kind=TraceKind.DELIVER)
+                      if r.detail == (0, 1, 1)]
+        assert deliveries == []
+
+    def test_disabled_by_default(self):
+        a = OdmrpAgent()
+        assert a.fg_timeout is None
+
+    def test_mtmrp_supports_soft_state_too(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: MtmrpAgent(fg_timeout=5.0))
+        run_round(sim, agents)
+        assert agents[1]._fg_until[(0, 1)] > sim.now

@@ -1,0 +1,62 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import TraceKind, TraceRecorder
+
+
+def test_emit_and_count():
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.TX, 1, "DataPacket", 100)
+    t.emit(0.5, TraceKind.TX, 2, "JoinQuery", 101)
+    t.emit(1.0, TraceKind.RX, 3, "DataPacket", 100)
+    assert t.count(TraceKind.TX) == 2
+    assert t.count(TraceKind.TX, "DataPacket") == 1
+    assert t.count(TraceKind.RX) == 1
+    assert len(t) == 3
+
+
+def test_filter_by_kind_type_node():
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.TX, 1, "A")
+    t.emit(0.0, TraceKind.TX, 2, "B")
+    t.emit(0.0, TraceKind.RX, 1, "A")
+    assert len(list(t.filter(kind=TraceKind.TX))) == 2
+    assert len(list(t.filter(packet_type="A"))) == 2
+    assert len(list(t.filter(node=1))) == 2
+    assert len(list(t.filter(kind=TraceKind.TX, packet_type="A", node=1))) == 1
+
+
+def test_nodes_with():
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.TX, 1, "Data")
+    t.emit(0.0, TraceKind.TX, 1, "Data")
+    t.emit(0.0, TraceKind.TX, 5, "Data")
+    assert t.nodes_with(TraceKind.TX, "Data") == {1, 5}
+
+
+def test_disabled_kinds_keep_counters_only():
+    t = TraceRecorder(enabled_kinds={TraceKind.TX})
+    t.emit(0.0, TraceKind.RX, 1, "Data")
+    t.emit(0.0, TraceKind.TX, 1, "Data")
+    assert t.count(TraceKind.RX, "Data") == 1  # counter survives
+    assert len(t) == 1  # but only the TX record is stored
+    assert list(t.filter(kind=TraceKind.RX)) == []
+
+
+def test_clear():
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.TX, 1, "Data")
+    t.clear()
+    assert len(t) == 0
+    assert t.count(TraceKind.TX) == 0
+
+
+def test_records_are_immutable():
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.MARK, 4, "Forwarder", (0, 1, 0))
+    rec = t.records[0]
+    try:
+        rec.node = 9
+        mutated = True
+    except AttributeError:
+        mutated = False
+    assert not mutated

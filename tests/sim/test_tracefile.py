@@ -1,0 +1,98 @@
+"""Tests for trace file export/import."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.trace import TraceKind, TraceRecord, TraceRecorder
+from repro.sim.tracefile import format_record, parse_record, read_trace, write_trace
+
+
+def _sample_trace() -> TraceRecorder:
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.TX, 0, "JoinQuery", 1)
+    t.emit(0.0012345, TraceKind.RX, 3, "JoinQuery", 1)
+    t.emit(0.5, TraceKind.MARK, 3, "Forwarder", (0, 1, 0))
+    t.emit(1.0, TraceKind.DELIVER, 7, "DataPacket", (0, 1, 0))
+    t.emit(1.5, TraceKind.DROP, 7, "DataPacket", "dup")
+    t.emit(2.0, TraceKind.NOTE, 2, None, None)
+    return t
+
+
+def test_roundtrip_file(tmp_path):
+    t = _sample_trace()
+    p = tmp_path / "run.trace"
+    n = write_trace(t, p)
+    assert n == len(t)
+    back = read_trace(p)
+    assert back.records == t.records
+    assert back.counts == t.counts
+
+
+def test_roundtrip_stream():
+    t = _sample_trace()
+    buf = io.StringIO()
+    write_trace(t, buf)
+    buf.seek(0)
+    back = read_trace(buf)
+    assert back.records == t.records
+
+
+def test_format_is_columnar():
+    line = format_record(TraceRecord(1.5, TraceKind.TX, 4, "DataPacket", 9))
+    assert line == "tx 1.5 4 DataPacket 9"
+
+
+def test_time_roundtrips_bit_exactly():
+    t = 0.0001620741253544885
+    rec = parse_record(format_record(TraceRecord(t, TraceKind.RX, 1, "P", 0)))
+    assert rec.time == t
+
+
+def test_parse_tuple_detail():
+    rec = parse_record('mark 0.5 3 Forwarder [0,1,0]')
+    assert rec.detail == (0, 1, 0)
+
+
+def test_parse_missing_fields():
+    rec = parse_record("note 2.0 2 - -")
+    assert rec.packet_type is None and rec.detail is None
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ValueError):
+        parse_record("tx 1.0 4")
+
+
+def test_comments_and_blanks_skipped(tmp_path):
+    p = tmp_path / "t.trace"
+    p.write_text("# header\n\ntx 1.000000000 0 DataPacket 5\n")
+    back = read_trace(p)
+    assert len(back) == 1
+
+
+@given(
+    time=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    node=st.integers(min_value=0, max_value=10_000),
+    kind=st.sampled_from(list(TraceKind)),
+    detail=st.one_of(st.none(), st.integers(-1000, 1000), st.text(max_size=10),
+                     st.tuples(st.integers(0, 9), st.integers(0, 9))),
+)
+def test_record_roundtrip_property(time, node, kind, detail):
+    """Property: format -> parse is the identity up to float formatting."""
+    rec = TraceRecord(time, kind, node, "P", detail)
+    back = parse_record(format_record(rec))
+    assert back.kind == rec.kind and back.node == rec.node
+    assert back.detail == rec.detail
+    assert back.time == pytest.approx(rec.time, abs=1e-9)
+
+
+def test_metrics_from_reloaded_trace(tmp_path):
+    """A trace written to disk supports the same metric queries."""
+    t = _sample_trace()
+    p = tmp_path / "run.trace"
+    write_trace(t, p)
+    back = read_trace(p)
+    assert back.count(TraceKind.TX, "JoinQuery") == 1
+    assert back.nodes_with(TraceKind.DELIVER) == {7}

@@ -1,0 +1,87 @@
+"""Tests for the minimum-transmission heuristics (Fig. 1c, ref. [3])."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.topology import connectivity_graph, grid_topology
+from repro.trees.mintx import greedy_cover_transmitters, node_join_tree, tree_join_tree
+from repro.trees.validate import brute_force_min_transmitters, is_valid_transmitter_set
+
+HEURISTICS = [node_join_tree, tree_join_tree, greedy_cover_transmitters]
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+class TestFeasibility:
+    def test_valid_on_grid(self, heuristic):
+        g = connectivity_graph(grid_topology(), 40.0)
+        rng = np.random.default_rng(2)
+        recvs = rng.choice(np.arange(1, 100), size=15, replace=False).tolist()
+        t = heuristic(g, 0, recvs)
+        assert is_valid_transmitter_set(g, t, 0, recvs)
+
+    def test_star_needs_one_transmission(self, heuristic):
+        g = nx.star_graph(6)
+        t = heuristic(g, 0, [1, 2, 3, 4, 5, 6])
+        assert t == {0}
+
+    def test_line(self, heuristic):
+        g = nx.path_graph(5)
+        t = heuristic(g, 0, [4])
+        assert t == {0, 1, 2, 3}
+
+    def test_receiver_equal_source_neighbor(self, heuristic):
+        g = nx.path_graph(2)
+        t = heuristic(g, 0, [1])
+        assert t == {0}
+
+    def test_missing_terminal_raises(self, heuristic):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            heuristic(g, 0, [77])
+
+    def test_unreachable_raises(self, heuristic):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_node(5)
+        with pytest.raises(nx.NetworkXNoPath):
+            heuristic(g, 0, [5])
+
+
+class TestQuality:
+    def test_broadcast_advantage_beats_steiner_on_dense_clusters(self):
+        """Fig. 1's motivation: when receivers cluster around hubs, the
+        transmission-aware greedy uses fewer transmitters than the
+        Steiner tree's internal-node count."""
+        from repro.trees.steiner import kmb_steiner_tree
+        from repro.trees.validate import transmitters_of_tree
+
+        g = connectivity_graph(grid_topology(), 40.0)
+        rng = np.random.default_rng(11)
+        diffs = []
+        for _ in range(6):
+            recvs = rng.choice(np.arange(1, 100), size=20, replace=False).tolist()
+            greedy = len(greedy_cover_transmitters(g, 0, recvs))
+            steiner = len(transmitters_of_tree(kmb_steiner_tree(g, 0, recvs), 0))
+            diffs.append(steiner - greedy)
+        assert np.mean(diffs) > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3000))
+    def test_heuristics_near_optimal_on_small_instances(self, seed):
+        """Property: on brute-forceable instances every heuristic is
+        feasible and within 2x of the optimum."""
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 55, size=(9, 2))
+        g = connectivity_graph(pos, 30.0)
+        reachable = list(nx.node_connected_component(g, 0) - {0})
+        if len(reachable) < 3:
+            return
+        recvs = rng.choice(reachable, size=3, replace=False).tolist()
+        opt = brute_force_min_transmitters(g, 0, recvs)
+        assert opt is not None
+        for heuristic in HEURISTICS:
+            t = heuristic(g, 0, recvs)
+            assert is_valid_transmitter_set(g, t, 0, recvs)
+            assert len(t) <= 2 * len(opt) + 1

@@ -1,0 +1,76 @@
+"""Tests for the shortest-path multicast tree (Fig. 1a)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.topology import connectivity_graph, grid_topology
+from repro.trees.spt import shortest_path_tree
+
+
+def test_line():
+    g = nx.path_graph(5)
+    t = shortest_path_tree(g, 0, [4])
+    assert {frozenset(e) for e in t.edges} == {
+        frozenset((0, 1)), frozenset((1, 2)), frozenset((2, 3)), frozenset((3, 4))
+    }
+
+
+def test_tree_is_a_tree():
+    g = connectivity_graph(grid_topology(5, 5, 100.0), 30.0)
+    t = shortest_path_tree(g, 0, [24, 20, 4, 12])
+    assert nx.is_tree(t)
+
+
+def test_contains_all_receivers():
+    g = connectivity_graph(grid_topology(5, 5, 100.0), 30.0)
+    recvs = [24, 20, 4, 12]
+    t = shortest_path_tree(g, 0, recvs)
+    assert set(recvs) <= set(t.nodes)
+
+
+def test_paths_are_shortest():
+    g = connectivity_graph(grid_topology(6, 6, 100.0), 25.0)
+    recvs = [35, 30, 5]
+    t = shortest_path_tree(g, 0, recvs)
+    for r in recvs:
+        assert nx.shortest_path_length(t, 0, r) == nx.shortest_path_length(g, 0, r)
+
+
+def test_source_as_receiver_ignored():
+    g = nx.path_graph(3)
+    t = shortest_path_tree(g, 0, [0, 2])
+    assert nx.is_tree(t)
+    assert 2 in t
+
+
+def test_unreachable_receiver_raises():
+    g = nx.Graph()
+    g.add_nodes_from([0, 1])
+    with pytest.raises(nx.NetworkXNoPath):
+        shortest_path_tree(g, 0, [1])
+
+
+def test_deterministic():
+    g = connectivity_graph(grid_topology(5, 5, 100.0), 30.0)
+    t1 = shortest_path_tree(g, 0, [24, 13])
+    t2 = shortest_path_tree(g, 0, [24, 13])
+    assert sorted(t1.edges) == sorted(t2.edges)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_spt_properties_on_random_graphs(seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 100, size=(15, 2))
+    g = connectivity_graph(pos, 45.0)
+    reachable = list(nx.node_connected_component(g, 0) - {0})
+    if len(reachable) < 3:
+        return
+    recvs = rng.choice(reachable, size=3, replace=False).tolist()
+    t = shortest_path_tree(g, 0, recvs)
+    assert nx.is_tree(t)
+    assert set(recvs) <= set(t.nodes)
+    for r in recvs:
+        assert nx.shortest_path_length(t, 0, r) == nx.shortest_path_length(g, 0, r)

@@ -1,0 +1,66 @@
+"""Tests for the ASCII renderers."""
+
+import numpy as np
+
+from repro.viz.ascii_plot import render_field, render_line_chart, render_surface
+
+
+class TestField:
+    def test_markers_present(self):
+        pos = np.array([[0.0, 0.0], [100.0, 100.0], [200.0, 200.0], [50.0, 50.0]])
+        out = render_field(pos, 200.0, source=0, receivers=[1], transmitters=[2])
+        assert "S" in out
+        assert "R" in out
+        assert "#" in out
+        assert "." in out
+        assert "legend" not in out  # legend text is inline, not labelled
+
+    def test_forwarding_receiver_marker(self):
+        pos = np.array([[0.0, 0.0], [100.0, 100.0]])
+        out = render_field(pos, 200.0, source=0, receivers=[1], transmitters=[1])
+        assert "@" in out
+
+    def test_higher_rank_wins_cell(self):
+        # two nodes mapping to the same cell: source outranks plain node
+        pos = np.array([[0.0, 0.0], [0.5, 0.5]])
+        out = render_field(pos, 200.0, source=0, receivers=[], transmitters=[], width=10, height=5)
+        grid_only = out.rsplit("\n", 1)[0]  # strip the legend line
+        assert grid_only.count("S") == 1
+        assert grid_only.count(".") == 0  # the plain node was outranked
+
+    def test_dimensions(self):
+        pos = np.array([[0.0, 0.0]])
+        out = render_field(pos, 200.0, 0, [], [], width=30, height=10)
+        lines = out.split("\n")
+        assert len(lines) == 11  # 10 rows + legend
+        assert all(len(l) == 30 for l in lines[:10])
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        out = render_line_chart([1, 2, 3], {"A": [1, 2, 3], "B": [3, 2, 1]})
+        assert "o=A" in out and "x=B" in out
+
+    def test_empty_data(self):
+        assert render_line_chart([], {}) == "(no data)"
+
+    def test_constant_series_no_crash(self):
+        out = render_line_chart([1, 2], {"A": [5, 5]})
+        assert "o=A" in out
+
+    def test_axis_labels(self):
+        out = render_line_chart([0, 10], {"A": [2, 8]}, title="T", ylabel="tx")
+        assert out.startswith("T")
+        assert "[tx]" in out
+        assert "8.00" in out and "2.00" in out
+
+
+class TestSurface:
+    def test_layout(self):
+        vals = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = render_surface([3, 4], [0.001, 0.01], vals, title="P")
+        lines = out.split("\n")
+        assert lines[0] == "P"
+        assert "N\\w" in lines[1]
+        assert "3" in lines[2] and "1.00" in lines[2]
+        assert "4" in lines[3] and "4.00" in lines[3]

@@ -1,0 +1,77 @@
+"""Tests for the SVG renderers."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.viz.svg import field_svg, line_chart_svg, save_svg, surface_svg
+
+
+def _parse(svg: str) -> ET.Element:
+    """The output must be well-formed XML."""
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_well_formed_and_has_series(self):
+        svg = line_chart_svg([1, 2, 3], {"A": [1, 2, 3], "B": [3, 2, 1]},
+                             title="T", xlabel="x", ylabel="y")
+        root = _parse(svg)
+        assert root.tag.endswith("svg")
+        assert svg.count("<polyline") == 2
+        assert "T" in svg and ">x<" in svg
+
+    def test_markers_differ_between_series(self):
+        svg = line_chart_svg([1, 2], {"A": [1, 2], "B": [2, 1]})
+        assert "<circle" in svg  # series A markers
+        assert "<rect" in svg  # series B markers (squares)
+
+    def test_empty_data_safe(self):
+        root = _parse(line_chart_svg([], {}))
+        assert root.tag.endswith("svg")
+
+    def test_constant_series(self):
+        svg = line_chart_svg([1, 2, 3], {"A": [5, 5, 5]})
+        _parse(svg)
+
+    def test_legend_labels_escaped(self):
+        svg = line_chart_svg([1], {"a<b&c": [1]})
+        _parse(svg)  # would raise on unescaped characters
+        assert "a&lt;b&amp;c" in svg
+
+
+class TestField:
+    def test_well_formed_with_all_roles(self):
+        pos = np.array([[0, 0], [50, 50], [100, 100], [150, 150], [25, 75]], float)
+        svg = field_svg(pos, 200.0, source=0, receivers=[1, 2], transmitters=[2, 3],
+                        title="snap")
+        _parse(svg)
+        assert "snap" in svg
+        # source square + receivers + forwarders present
+        assert svg.count("<circle") >= 2
+
+    def test_source_is_square(self):
+        pos = np.array([[10, 10]], float)
+        svg = field_svg(pos, 100.0, source=0, receivers=[], transmitters=[])
+        assert "<rect" in svg
+
+
+class TestSurface:
+    def test_well_formed_with_annotations(self):
+        vals = np.array([[20.0, 21.0], [22.0, 23.5]])
+        svg = surface_svg([3, 4], [0.001, 0.01], vals, title="S")
+        _parse(svg)
+        assert "20.0" in svg and "23.5" in svg
+        assert svg.count("<rect") >= 5  # 4 cells + background
+
+    def test_flat_surface_safe(self):
+        vals = np.full((2, 2), 7.0)
+        _parse(surface_svg([1, 2], [1, 2], vals))
+
+
+def test_save_svg_roundtrip(tmp_path):
+    svg = line_chart_svg([1, 2], {"A": [1, 2]})
+    p = save_svg(svg, tmp_path / "charts" / "a.svg")
+    assert p.exists()
+    assert p.read_text() == svg
