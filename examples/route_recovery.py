@@ -3,10 +3,12 @@
 
 "It is possible that the discovered routes between source and multicast
 receivers break, e.g., a forwarder runs out of energy."  This example
-builds an MTMRP tree with the real HELLO protocol running, kills one
-forwarder mid-mission, lets a receiver detect the failure through HELLO
-timeouts, and shows the RouteError -> source re-flood -> restored
-delivery sequence.
+builds an MTMRP tree with the real HELLO protocol running, then uses the
+fault-injection subsystem (:mod:`repro.faults`) to kill one mid-tree
+forwarder.  Receivers watch their serving forwarder through the
+route-health monitor; when the dead node's HELLO entry expires they flood
+a RouteError, the source re-floods with a fresh sequence number, and
+delivery is restored — each stage is asserted, not just printed.
 
 Run:  python examples/route_recovery.py
 """
@@ -14,6 +16,7 @@ Run:  python examples/route_recovery.py
 import numpy as np
 
 from repro.core.mtmrp import MtmrpAgent
+from repro.faults import FaultInjector, FaultPlan
 from repro.mac import CsmaMac
 from repro.net import Network, grid_topology
 from repro.sim import Simulator
@@ -44,42 +47,58 @@ def main() -> None:
     sim.run(until=6.0)
     src.send_data(1, seq=0)
     sim.run(until=7.0)
+    got0 = delivered_count(sim, receivers, 0)
     print(f"t={sim.now:.1f}s  initial tree: packet 0 delivered to "
-          f"{delivered_count(sim, receivers, 0)}/{len(receivers)} receivers")
+          f"{got0}/{len(receivers)} receivers")
+    assert got0 == len(receivers), "initial tree failed to cover the group"
+
+    # Receivers arm the route-health watchdog: every second they check that
+    # the forwarder they last heard data from is still in the HELLO table.
+    for a in agents:
+        if a.node_id in receivers:
+            a.start_route_monitor(0, 1, interval=1.0)
 
     # Kill the forwarder the most receivers actually heard packet 0 from —
-    # its death visibly breaks the tree.
+    # its death visibly breaks the tree AND is observable by the monitors
+    # (a receiver only watches the forwarder that directly serves it).
     serving = [
         a.last_data_from[(0, 1)]
         for a in agents
         if a.node_id in receivers and (0, 1) in a.last_data_from
     ]
     victim = max(set(serving) - {0}, key=serving.count)
-    net.node(victim).fail()
+    injector = FaultInjector(net, FaultPlan().crash(sim.now, victim)).arm()
+    sim.run(until=sim.now + 0.1)
+    assert injector.crashed == {victim}
     n_served = serving.count(victim)
     print(f"t={sim.now:.1f}s  forwarder {victim} fails (battery exhausted); "
           f"it was serving {n_served} receiver(s)")
 
-    sim.run(until=12.0)
+    # Before the victim's HELLO entries expire, the tree is silently broken.
+    sim.run(until=9.0)
     src.send_data(1, seq=1)
-    sim.run(until=13.0)
+    sim.run(until=10.0)
+    got1 = delivered_count(sim, receivers, 1)
     print(f"t={sim.now:.1f}s  broken tree: packet 1 delivered to "
-          f"{delivered_count(sim, receivers, 1)}/{len(receivers)} receivers")
+          f"{got1}/{len(receivers)} receivers")
+    assert got1 < len(receivers), "the crash should have broken the tree"
 
-    # Receivers notice the stale neighbor entry (HELLO expiry) and raise
-    # RouteErrors; the source rebuilds with a fresh sequence number.
-    complaints = 0
-    for a in agents:
-        if a.node_id in receivers and not a.check_route_health(0, 1):
-            complaints += 1
+    # Then the HELLO entries expire, the monitors flood RouteErrors, and
+    # the source re-floods a fresh round.
+    sim.run(until=13.0)
+    complaints = sum(a.stats["route_errors_sent"] for a in agents if a.node_id in receivers)
     print(f"t={sim.now:.1f}s  {complaints} receiver(s) detected the dead "
           f"forwarder and flooded a RouteError")
+    assert complaints >= 1, "no receiver noticed the dead forwarder"
     sim.run(until=18.0)
+    assert src.state_of(0, 1).seq > 0, "source never re-flooded"
 
     src.send_data(1, seq=2)
     sim.run(until=19.0)
+    got2 = delivered_count(sim, receivers, 2)
     print(f"t={sim.now:.1f}s  rebuilt tree: packet 2 delivered to "
-          f"{delivered_count(sim, receivers, 2)}/{len(receivers)} receivers")
+          f"{got2}/{len(receivers)} receivers")
+    assert got2 == len(receivers), "recovery did not restore full delivery"
 
 
 if __name__ == "__main__":

@@ -139,6 +139,27 @@ def _run_load(args) -> None:
               f"{v['tx_per_packet']:>7.1f} {v['collisions']:>11.0f}")
 
 
+def _run_faults(args) -> None:
+    from repro.experiments.faults import fault_sweep
+
+    runs = max(args.runs // 5, 3)
+    print("\n== Fault injection: mid-stream forwarder crash (grid, ideal MAC) ==")
+    header = (f"{'protocol':>10} {'delivery':>9} {'pre':>7} {'post':>7} "
+              f"{'recovery(s)':>12} {'recovered':>10}")
+    for loss, label in ((0.0, "loss-free links"), (0.1, "10% i.i.d. frame loss")):
+        out = fault_sweep(
+            runs=runs,
+            loss_model="iid" if loss > 0 else "none",
+            loss_rate=loss,
+        )
+        print(f"\n-- {label} --")
+        print(header)
+        for proto, v in out.items():
+            print(f"{proto:>10} {v['delivery_ratio']:>9.3f} "
+                  f"{v['pre_fault_delivery']:>7.3f} {v['post_fault_delivery']:>7.3f} "
+                  f"{v['recovery_latency']:>12.3f} {v['recovered_runs']:>10.0%}")
+
+
 COMMANDS = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -148,6 +169,7 @@ COMMANDS = {
     "fig10": _run_fig10,
     "ablations": _run_ablations,
     "load": _run_load,
+    "faults": _run_faults,
 }
 
 
@@ -173,7 +195,10 @@ def main(argv=None) -> int:
     targets = list(COMMANDS) if args.figure == "all" else [args.figure]
     for name in targets:
         COMMANDS[name](args)
-    print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    # progress chatter belongs on an interactive terminal only; when stderr
+    # is redirected to a capture file (e.g. results/fig*.err) stay silent
+    if sys.stderr.isatty():
+        print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
     return 0
 
 

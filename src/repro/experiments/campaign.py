@@ -44,6 +44,7 @@ _RESULT_FIELDS = (
     "collisions",
     "energy_joules",
     "construction_latency",
+    "frames_lost",
 )
 
 

@@ -17,7 +17,13 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.node import Node
 
-__all__ = ["SimulationConfig", "PROTOCOLS", "make_agent_factory", "make_positions"]
+__all__ = [
+    "SimulationConfig",
+    "PROTOCOLS",
+    "make_agent_factory",
+    "make_positions",
+    "make_loss_model",
+]
 
 #: Canonical protocol keys, in the paper's legend order.
 PROTOCOLS: Tuple[str, ...] = ("mtmrp", "mtmrp_nophs", "dodmrp", "odmrp")
@@ -62,6 +68,15 @@ class SimulationConfig:
     #: assumption; > 0 enables the quasi-static LogDistance+shadowing
     #: ablation, median-matched to TwoRayGround)
     shadowing_sigma_db: float = 0.0
+    #: per-frame link-loss model: "none" | "iid" | "gilbert"
+    #: (see :mod:`repro.net.loss`; applies even on the perfect channel)
+    loss_model: str = "none"
+    #: i.i.d. per-frame loss probability (loss_model == "iid")
+    loss_rate: float = 0.0
+    #: Gilbert–Elliott transition probabilities (loss_model == "gilbert");
+    #: Bad-state frames are always lost, Good-state frames never
+    ge_p_good_bad: float = 0.02
+    ge_p_bad_good: float = 0.25
     perfect_channel: bool = False  # forced True when mac == "ideal"
     hello_phase: bool = False  # run the real HELLO protocol instead of bootstrap
     hello_period: float = 1.0
@@ -81,6 +96,10 @@ class SimulationConfig:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.topology not in ("grid", "random"):
             raise ValueError(f"unknown topology {self.topology!r}")
+        if self.loss_model not in ("none", "iid", "gilbert"):
+            raise ValueError(f"unknown loss_model {self.loss_model!r}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate {self.loss_rate} not in [0, 1]")
         n = self.n_nodes
         if not (0 < self.group_size < n):
             raise ValueError(f"group_size {self.group_size} not in (0, {n})")
@@ -123,6 +142,19 @@ def make_positions(cfg: SimulationConfig, rng: np.random.Generator) -> np.ndarra
         return grid_topology(cfg.grid_nx, cfg.grid_ny, cfg.side)
     return random_topology(
         cfg.random_nodes, cfg.side, rng=rng, comm_range=cfg.comm_range
+    )
+
+
+def make_loss_model(cfg: SimulationConfig, rng: np.random.Generator):
+    """The run's channel loss model, or None (drawing from ``rng``)."""
+    if cfg.loss_model == "none":
+        return None
+    from repro.net.loss import GilbertElliott, IidLoss
+
+    if cfg.loss_model == "iid":
+        return IidLoss(cfg.loss_rate, rng)
+    return GilbertElliott(
+        p_good_bad=cfg.ge_p_good_bad, p_bad_good=cfg.ge_p_bad_good, rng=rng
     )
 
 

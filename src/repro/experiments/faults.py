@@ -1,0 +1,234 @@
+"""Route-recovery campaign under fault injection (extension).
+
+The paper's evaluation assumes a static, fault-free deployment; Sec. IV-D
+only sketches the recovery machinery (RouteError + rebuild).  This module
+exercises it: stream CBR data down an established tree, kill a mid-tree
+forwarder (and/or run a :class:`~repro.faults.FaultPlan`, an energy
+budget, or a lossy channel), and measure how delivery degrades and when
+the soft-state refresh cycle heals the tree.
+
+Every run is a pure function of its :class:`SimulationConfig` — the same
+seed replays bit-for-bit, which :func:`run_fault_single` makes checkable
+by digesting the full trace into ``trace_sha256``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import (
+    SimulationConfig,
+    make_agent_factory,
+    make_loss_model,
+    make_positions,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind, TraceRecorder
+
+__all__ = ["FaultRunResult", "run_fault_single", "fault_sweep", "trace_digest"]
+
+
+@dataclass(frozen=True)
+class FaultRunResult:
+    """Outcome of one fault-injected CBR run."""
+
+    protocol: str
+    seed: int
+    packets_sent: int
+    crashes: int
+    #: time of the first applied crash; None if nothing died
+    first_crash_time: Optional[float]
+    #: receiver-packets delivered / expected, whole run
+    delivery_ratio: float
+    #: same, packets sent before the first crash
+    pre_fault_delivery: float
+    #: same, packets sent after the first crash (surviving receivers)
+    post_fault_delivery: float
+    #: seconds from the crash until a post-crash packet reaches the
+    #: threshold fraction of surviving receivers; None = never recovered
+    recovery_latency: Optional[float]
+    #: when the crash schedule first partitions the residual graph
+    time_to_first_partition: Optional[float]
+    frames_lost: int
+    collisions: int
+    energy_joules: float
+    #: sha256 over every trace record — equal digests mean identical runs
+    trace_sha256: str
+    #: the injector's applied-fault log: (time, node, kind, cause)
+    fault_log: Tuple[Tuple[float, int, str, str], ...]
+
+
+def trace_digest(trace: TraceRecorder) -> str:
+    """Deterministic sha256 fingerprint of a finished run's trace."""
+    h = hashlib.sha256()
+    for rec in trace.records:
+        h.update(
+            repr((rec.time, rec.kind.value, rec.node, rec.packet_type, rec.detail)).encode()
+        )
+    return h.hexdigest()
+
+
+def run_fault_single(
+    cfg: SimulationConfig,
+    n_packets: int = 20,
+    rate_pps: float = 10.0,
+    refresh_interval: float = 2.0,
+    crash_forwarder_at: Optional[float] = None,
+    plan=None,
+    energy_budget: Optional[float] = None,
+    recovery_threshold: float = 0.9,
+    fg_timeout_factor: float = 2.5,
+) -> FaultRunResult:
+    """Stream CBR data through ``cfg``'s deployment while faults fire.
+
+    The source floods one JoinQuery, then refreshes every
+    ``refresh_interval`` seconds (forwarder soft state expires after
+    ``fg_timeout_factor`` refresh periods).  Faults come from any mix of:
+
+    * ``crash_forwarder_at`` — kill one seeded mid-tree forwarder at that
+      time (measured from the start of the data phase);
+    * ``plan`` — a static :class:`~repro.faults.FaultPlan` (its times are
+      absolute simulation time);
+    * ``energy_budget`` — per-node battery in joules; depletion kills;
+    * ``cfg.loss_model`` — channel-level frame erasures.
+    """
+    from repro.faults import FaultInjector
+    from repro.mac.csma import CsmaMac
+    from repro.mac.ideal import IdealMac
+    from repro.metrics.faults import collect_fault_metrics
+    from repro.net.network import Network
+    from repro.net.packet import reset_uids
+
+    reset_uids()  # uids are process-global; fresh sequence per run
+    sim = Simulator(
+        seed=cfg.seed,
+        trace=TraceRecorder(
+            enabled_kinds={TraceKind.TX, TraceKind.DELIVER, TraceKind.MARK, TraceKind.NOTE}
+        ),
+    )
+    positions = make_positions(cfg, sim.rng.stream("topology"))
+    mac_factory = IdealMac if cfg.mac == "ideal" else CsmaMac
+    net = Network(
+        sim,
+        positions,
+        comm_range=cfg.comm_range,
+        mac_factory=mac_factory,
+        perfect_channel=cfg.perfect_channel or cfg.mac == "ideal",
+        loss=make_loss_model(cfg, sim.rng.stream("loss")),
+    )
+    rng = sim.rng.stream("receivers")
+    candidates = np.arange(0, cfg.n_nodes)
+    candidates = candidates[candidates != cfg.source]
+    receivers = [int(r) for r in rng.choice(candidates, size=cfg.group_size, replace=False)]
+    net.set_group_members(cfg.group, receivers)
+    net.bootstrap_neighbor_tables()
+    agents = net.install(make_agent_factory(cfg))
+    for a in agents:
+        # forwarder soft state must outlive one refresh period but expire
+        # soon after, so a dead relay's tree entry ages out by itself
+        a.fg_timeout = fg_timeout_factor * refresh_interval
+    net.start()
+
+    src = agents[cfg.source]
+    src.request_route(cfg.group)
+    sim.run(until=sim.now + cfg.effective_construction_time)
+    src.start_periodic_refresh(cfg.group, refresh_interval)
+
+    injector = FaultInjector(net, plan=plan, energy_budget=energy_budget).arm()
+    t0 = sim.now
+    if crash_forwarder_at is not None:
+        injector.schedule_forwarder_crash(
+            t0 + crash_forwarder_at, agents, source=cfg.source, group=cfg.group
+        )
+
+    interval = 1.0 / rate_pps
+    send_times: Dict[int, float] = {}
+    for k in range(n_packets):
+        t = t0 + k * interval
+        send_times[k] = t
+        sim.schedule_at(t, src.send_data, cfg.group, k)
+    # drain: the tail packet plus one full refresh/rebuild cycle
+    sim.run(until=t0 + n_packets * interval + refresh_interval + 1.0)
+    src.stop_periodic_refresh(cfg.group)
+
+    fm = collect_fault_metrics(
+        sim.trace,
+        positions,
+        cfg.comm_range,
+        receivers,
+        send_times,
+        source=cfg.source,
+        group=cfg.group,
+        threshold=recovery_threshold,
+    )
+    return FaultRunResult(
+        protocol=cfg.protocol,
+        seed=cfg.seed,
+        packets_sent=fm.packets_sent,
+        crashes=fm.crashes,
+        first_crash_time=injector.first_crash_time(),
+        delivery_ratio=fm.delivery_ratio,
+        pre_fault_delivery=fm.pre_fault_delivery,
+        post_fault_delivery=fm.post_fault_delivery,
+        recovery_latency=fm.recovery_latency,
+        time_to_first_partition=fm.time_to_first_partition,
+        frames_lost=net.channel.frames_lost,
+        collisions=net.channel.frames_collided,
+        energy_joules=net.energy_summary()["total_joules"],
+        trace_sha256=trace_digest(sim.trace),
+        fault_log=tuple(injector.log),
+    )
+
+
+def fault_sweep(
+    protocols: Sequence[str] = ("mtmrp", "odmrp"),
+    topology: str = "grid",
+    group_size: int = 20,
+    runs: int = 5,
+    n_packets: int = 20,
+    rate_pps: float = 10.0,
+    refresh_interval: float = 2.0,
+    crash_forwarder_at: float = 0.55,
+    loss_model: str = "none",
+    loss_rate: float = 0.0,
+    mac: str = "ideal",
+    batch_seed: int = 4242,
+) -> Dict[str, Dict[str, float]]:
+    """Mean fault metrics per protocol under a mid-stream forwarder crash."""
+    from repro.experiments.runner import monte_carlo
+
+    out: Dict[str, Dict[str, float]] = {}
+    for proto in protocols:
+        base = SimulationConfig(
+            protocol=proto,
+            topology=topology,
+            group_size=group_size,
+            mac=mac,
+            loss_model=loss_model,
+            loss_rate=loss_rate,
+        )
+        results: List[FaultRunResult] = [
+            run_fault_single(
+                c,
+                n_packets=n_packets,
+                rate_pps=rate_pps,
+                refresh_interval=refresh_interval,
+                crash_forwarder_at=crash_forwarder_at,
+            )
+            for c in monte_carlo(base, runs, batch_seed)
+        ]
+        recov = [r.recovery_latency for r in results if r.recovery_latency is not None]
+        out[proto] = {
+            "delivery_ratio": float(np.mean([r.delivery_ratio for r in results])),
+            "pre_fault_delivery": float(np.mean([r.pre_fault_delivery for r in results])),
+            "post_fault_delivery": float(np.mean([r.post_fault_delivery for r in results])),
+            "recovery_latency": float(np.mean(recov)) if recov else float("nan"),
+            "recovered_runs": float(len(recov)) / len(results),
+            "crashes": float(np.mean([r.crashes for r in results])),
+            "frames_lost": float(np.mean([r.frames_lost for r in results])),
+        }
+    return out

@@ -16,7 +16,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.config import SimulationConfig, make_agent_factory, make_positions
+from repro.experiments.config import (
+    SimulationConfig,
+    make_agent_factory,
+    make_loss_model,
+    make_positions,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceKind, TraceRecorder
@@ -50,6 +55,8 @@ class RunResult:
     #: seconds from flood start to last receiver covered (the backoff's
     #: latency price; 0.0 for flooding, which has no construction phase)
     construction_latency: float = 0.0
+    #: frames erased by the configured link-loss model (0 without one)
+    frames_lost: int = 0
 
     #: for snapshot rendering
     transmitters: Tuple[int, ...] = ()
@@ -97,6 +104,7 @@ def run_single(cfg: SimulationConfig, keep_positions: bool = False) -> RunResult
         mac_factory=mac_factory,
         perfect_channel=perfect,
         propagation=propagation,
+        loss=make_loss_model(cfg, sim.rng.stream("loss")),
     )
 
     recv_rng = sim.rng.stream("receivers")
@@ -161,6 +169,7 @@ def run_single(cfg: SimulationConfig, keep_positions: bool = False) -> RunResult
         collisions=m.collisions,
         energy_joules=m.energy_joules,
         construction_latency=m.construction_latency,
+        frames_lost=m.frames_lost,
         transmitters=tuple(sorted(m.transmitters)),
         receivers=tuple(receivers),
         positions=positions if keep_positions else None,
@@ -187,6 +196,7 @@ def _flooding_metrics(net, cfg: SimulationConfig, receivers: Sequence[int]):
         hello_tx=trace.count(TraceKind.TX, "HelloPacket"),
         collisions=net.channel.frames_collided,
         energy_joules=net.energy_summary()["total_joules"],
+        frames_lost=net.channel.frames_lost,
         transmitters=transmitters,
     )
 
@@ -212,6 +222,7 @@ def _geo_metrics(net, cfg: SimulationConfig, receivers: Sequence[int]):
         hello_tx=trace.count(TraceKind.TX, "HelloPacket"),
         collisions=net.channel.frames_collided,
         energy_joules=net.energy_summary()["total_joules"],
+        frames_lost=net.channel.frames_lost,
         transmitters=transmitters,
     )
 

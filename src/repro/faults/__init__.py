@@ -1,0 +1,21 @@
+"""Fault injection: node crashes, duty-cycle sleep, energy depletion.
+
+MTMRP is an on-demand, soft-state protocol *because* WSN nodes die and
+links churn (PAPER.md Sec. I); this package makes those scenarios
+first-class and reproducible:
+
+* :class:`FaultPlan` — a declarative, seedable, serialisable schedule of
+  crash / recover / sleep / wake events;
+* :class:`FaultInjector` — replays a plan on the event kernel, caps
+  batteries so :class:`~repro.phy.energy.EnergyAccount` depletion kills
+  the node, and can target a live mid-tree forwarder at runtime;
+* channel-level loss models live in :mod:`repro.net.loss`; fault-specific
+  metrics (delivery under faults, recovery latency, time to first
+  partition) in :mod:`repro.metrics.faults`; the campaign harness in
+  :mod:`repro.experiments.faults`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan", "FaultInjector"]

@@ -24,6 +24,15 @@ from repro.metrics.collect import (
     data_transmitters,
     extra_nodes,
 )
+from repro.metrics.faults import (
+    FaultMetrics,
+    collect_fault_metrics,
+    delivery_ratio,
+    deliveries_by_seq,
+    fault_timeline,
+    first_partition_time,
+    recovery_latency,
+)
 from repro.metrics.tree_extract import (
     data_tree_from_trace,
     forwarder_set,
@@ -39,4 +48,11 @@ __all__ = [
     "forwarder_set",
     "reverse_path_tree",
     "data_tree_from_trace",
+    "FaultMetrics",
+    "collect_fault_metrics",
+    "fault_timeline",
+    "deliveries_by_seq",
+    "delivery_ratio",
+    "recovery_latency",
+    "first_partition_time",
 ]

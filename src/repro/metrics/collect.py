@@ -47,6 +47,8 @@ class MulticastMetrics:
     collisions: int
     #: network-wide energy consumed (joules)
     energy_joules: float
+    #: frames erased by the channel's loss model (0 without one)
+    frames_lost: int = 0
     #: seconds from the JoinQuery flood start until the last receiver was
     #: covered — "the price paying for the reduced transmission cost ...
     #: is the introduced backoff delay at each hop during the multicast
@@ -136,6 +138,7 @@ def collect_metrics(
         hello_tx=trace.count(TraceKind.TX, "HelloPacket"),
         collisions=network.channel.frames_collided,
         energy_joules=energy,
+        frames_lost=network.channel.frames_lost,
         construction_latency=latency,
         transmitters=transmitters,
     )

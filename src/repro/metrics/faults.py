@@ -1,0 +1,225 @@
+"""Metrics for runs with fault injection.
+
+All functions consume the trace (DELIVER records and the injector's
+``"Fault"`` NOTE records) plus static deployment facts — the same
+discipline as :mod:`repro.metrics.collect`: no protocol internals.
+
+Three fault-specific measurements:
+
+* **delivery ratio under faults** — per-packet and aggregate fractions of
+  receivers reached, split before/after the first crash;
+* **recovery latency** — seconds from a crash until the first packet sent
+  *after* the crash reaches a threshold fraction of the surviving
+  receivers (how fast the refresh/RouteError cycle heals the tree);
+* **time to first partition** — when the crash schedule first disconnects
+  a surviving receiver from the source in the residual connectivity
+  graph: past that instant no protocol can deliver to everyone, so it
+  bounds the network's useful lifetime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.sim.trace import TraceKind, TraceRecorder
+
+__all__ = [
+    "FaultMetrics",
+    "fault_timeline",
+    "deliveries_by_seq",
+    "delivery_ratio",
+    "recovery_latency",
+    "first_partition_time",
+    "collect_fault_metrics",
+]
+
+
+@dataclass(frozen=True)
+class FaultMetrics:
+    """Aggregate outcome of one faulty multicast run."""
+
+    #: delivered receiver-packets / expected receiver-packets, whole run
+    delivery_ratio: float
+    #: same, restricted to packets sent before the first crash
+    pre_fault_delivery: float
+    #: same, packets sent at/after the first crash (surviving receivers only)
+    post_fault_delivery: float
+    #: seconds from first crash to the first post-crash packet reaching
+    #: ``threshold`` of the surviving receivers; None if never
+    recovery_latency: Optional[float]
+    #: when the crash schedule first partitions a surviving receiver from
+    #: the source; None if the residual graph stays connected
+    time_to_first_partition: Optional[float]
+    packets_sent: int
+    crashes: int
+
+
+def fault_timeline(trace: TraceRecorder) -> List[Tuple[float, int, str]]:
+    """Applied faults from the injector's NOTE records: (time, node, kind)."""
+    out = []
+    for rec in trace.filter(kind=TraceKind.NOTE, packet_type="Fault"):
+        kind, _cause = rec.detail
+        out.append((rec.time, rec.node, kind))
+    return out
+
+
+def deliveries_by_seq(
+    trace: TraceRecorder,
+    receivers: Iterable[int],
+    source: int = 0,
+    group: int = 1,
+) -> Dict[int, List[Tuple[float, int]]]:
+    """Per data seq: sorted (time, receiver) delivery events."""
+    r = set(receivers)
+    out: Dict[int, List[Tuple[float, int]]] = {}
+    for rec in trace.filter(kind=TraceKind.DELIVER):
+        if rec.node not in r or not isinstance(rec.detail, tuple):
+            continue
+        src, grp, seq = rec.detail
+        if src != source or grp != group:
+            continue
+        out.setdefault(seq, []).append((rec.time, rec.node))
+    for lst in out.values():
+        lst.sort()
+    return out
+
+
+def delivery_ratio(
+    trace: TraceRecorder,
+    receivers: Sequence[int],
+    seqs: Sequence[int],
+    source: int = 0,
+    group: int = 1,
+) -> float:
+    """Delivered receiver-packets over ``len(seqs) * len(receivers)``."""
+    if not receivers or not seqs:
+        return 1.0
+    by_seq = deliveries_by_seq(trace, receivers, source, group)
+    want = set(seqs)
+    got = sum(len({node for _t, node in evs}) for s, evs in by_seq.items() if s in want)
+    return got / (len(want) * len(set(receivers)))
+
+
+def recovery_latency(
+    trace: TraceRecorder,
+    receivers: Sequence[int],
+    crash_time: float,
+    send_times: Dict[int, float],
+    source: int = 0,
+    group: int = 1,
+    threshold: float = 0.9,
+    surviving: Optional[Set[int]] = None,
+) -> Optional[float]:
+    """Seconds from ``crash_time`` until delivery recovers.
+
+    Recovery = the earliest instant at which some packet sent at/after
+    the crash has reached at least ``threshold`` of the ``surviving``
+    receivers (default: all receivers).  ``send_times`` maps data seq ->
+    application send time.  Returns None when no post-crash packet ever
+    crosses the threshold.
+    """
+    alive = set(surviving) if surviving is not None else set(receivers)
+    if not alive:
+        return None
+    need = max(1, math.ceil(threshold * len(alive)))
+    by_seq = deliveries_by_seq(trace, alive, source, group)
+    best: Optional[float] = None
+    for seq, t_sent in send_times.items():
+        if t_sent < crash_time:
+            continue
+        first_delivery: Dict[int, float] = {}
+        for t, node in by_seq.get(seq, []):
+            first_delivery.setdefault(node, t)
+        times = sorted(first_delivery.values())
+        if len(times) >= need:
+            t_ok = times[need - 1]
+            lat = t_ok - crash_time
+            if best is None or lat < best:
+                best = lat
+    return best
+
+
+def first_partition_time(
+    positions: np.ndarray,
+    comm_range: float,
+    source: int,
+    receivers: Sequence[int],
+    crashes: Iterable[Tuple[float, int]],
+) -> Optional[float]:
+    """When the crash schedule first cuts a surviving receiver off.
+
+    Walks the crashes in time order over the unit-disk connectivity graph
+    and returns the first crash time after which the source can no longer
+    reach every *surviving* receiver (a crashed receiver stops counting).
+    A crashed source partitions everything.  None = never partitioned.
+    """
+    from repro.net.topology import connectivity_graph
+
+    g = connectivity_graph(np.asarray(positions, dtype=float), comm_range)
+    dead: Set[int] = set()
+    for t, node in sorted(crashes):
+        dead.add(node)
+        targets = [r for r in set(receivers) if r not in dead]
+        if not targets:
+            continue
+        if source in dead:
+            return t
+        sub = g.subgraph(n for n in g.nodes if n not in dead)
+        if any(not nx.has_path(sub, source, r) for r in targets):
+            return t
+    return None
+
+
+def collect_fault_metrics(
+    trace: TraceRecorder,
+    positions: np.ndarray,
+    comm_range: float,
+    receivers: Sequence[int],
+    send_times: Dict[int, float],
+    source: int = 0,
+    group: int = 1,
+    threshold: float = 0.9,
+) -> FaultMetrics:
+    """Assemble all fault metrics for one finished run.
+
+    ``send_times`` maps each data seq the application emitted to its send
+    time; the fault timeline is reconstructed from the trace.
+    """
+    crashes = [(t, n) for t, n, kind in fault_timeline(trace) if kind == "crash"]
+    crash_time = crashes[0][0] if crashes else None
+    crashed_nodes = {n for _t, n in crashes}
+    surviving = set(receivers) - crashed_nodes
+
+    all_seqs = sorted(send_times)
+    overall = delivery_ratio(trace, receivers, all_seqs, source, group)
+    if crash_time is None:
+        return FaultMetrics(
+            delivery_ratio=overall,
+            pre_fault_delivery=overall,
+            post_fault_delivery=overall,
+            recovery_latency=None,
+            time_to_first_partition=None,
+            packets_sent=len(all_seqs),
+            crashes=0,
+        )
+    pre = [s for s in all_seqs if send_times[s] < crash_time]
+    post = [s for s in all_seqs if send_times[s] >= crash_time]
+    return FaultMetrics(
+        delivery_ratio=overall,
+        pre_fault_delivery=delivery_ratio(trace, receivers, pre, source, group),
+        post_fault_delivery=delivery_ratio(trace, sorted(surviving), post, source, group),
+        recovery_latency=recovery_latency(
+            trace, receivers, crash_time, send_times, source, group,
+            threshold=threshold, surviving=surviving,
+        ),
+        time_to_first_partition=first_partition_time(
+            positions, comm_range, source, receivers, crashes
+        ),
+        packets_sent=len(all_seqs),
+        crashes=len(crashes),
+    )

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
+from repro.net.loss import LossModel
 from repro.phy.energy import EnergyModel
 from repro.phy.propagation import PropagationModel, TwoRayGround, range_to_threshold
 from repro.phy.radio import Radio, Reception
@@ -59,7 +60,13 @@ class Channel:
         Link bitrate used for frame airtime (2 Mb/s, the ns-2 802.11
         default).
     perfect:
-        Disable collisions (see module docstring).
+        Disable collisions (see module docstring).  Frame-loss models
+        still apply: ``perfect`` refers to contention, not link quality.
+    loss:
+        Optional :class:`~repro.net.loss.LossModel` erasing frames per
+        directed link (i.i.d. or Gilbert–Elliott bursts).  A lost frame
+        still occupies the receiver's radio for its airtime — it arrives
+        garbled — so carrier sense and collisions are unaffected.
     """
 
     def __init__(
@@ -73,6 +80,7 @@ class Channel:
         energy_model: Optional[EnergyModel] = None,
         perfect: bool = False,
         capture_threshold_db: float = 10.0,
+        loss: Optional[LossModel] = None,
     ) -> None:
         self.sim = sim
         self.positions = np.asarray(positions, dtype=float)
@@ -85,6 +93,7 @@ class Channel:
             bitrate_bps=bitrate_bps
         )
         self.perfect = perfect
+        self.loss = loss
         self.rx_threshold = range_to_threshold(self.propagation, self.tx_power, self.comm_range)
 
         self._recompute_geometry()
@@ -96,6 +105,10 @@ class Channel:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_collided = 0
+        #: frames erased by the loss model
+        self.frames_lost = 0
+        #: frames a dead/sleeping sender's MAC tried to put on the air
+        self.frames_suppressed = 0
 
     def _recompute_geometry(self) -> None:
         """Vectorised geometry precomputation (also used by mobility).
@@ -174,6 +187,12 @@ class Channel:
         :meth:`repro.net.node.Node.send`.
         """
         now = self.sim.now
+        node = self._nodes[node_id] if self._nodes else None
+        if node is not None and not node.is_active:
+            # The MAC's access timer can fire after the node crashed or
+            # went to sleep mid-backoff; a dead radio emits nothing.
+            self.frames_suppressed += 1
+            return
         duration = self.airtime(packet)
         bits = packet.size_bits()
         radio = self.radios[node_id]
@@ -182,12 +201,12 @@ class Channel:
 
         self.frames_sent += 1
         self.sim.trace.emit(now, TraceKind.TX, node_id, packet.ptype, packet.uid)
-        node = self._nodes[node_id] if self._nodes else None
         if node is not None:
             node.energy.charge_tx(self.energy_model.tx_energy(bits))
 
         for nbr in self.neighbor_ids[node_id]:
             delay = self.prop_delays[node_id, nbr]
+            lost = self.loss is not None and self.loss.frame_lost(node_id, int(nbr))
             self.sim.schedule(
                 delay,
                 self._arrive,
@@ -195,25 +214,40 @@ class Channel:
                 packet,
                 float(self.rx_power[node_id, nbr]),
                 duration,
+                lost,
             )
 
     # ------------------------------------------------------------------ #
     # reception pipeline
     # ------------------------------------------------------------------ #
-    def _arrive(self, nbr_id: int, packet: "Packet", power: float, duration: float) -> None:
+    def _arrive(
+        self, nbr_id: int, packet: "Packet", power: float, duration: float,
+        lost: bool = False,
+    ) -> None:
         radio = self.radios[nbr_id]
         rec = radio.begin_reception(packet, self.sim.now, duration, power)
-        self.sim.schedule(duration, self._finish, nbr_id, rec, priority=1)
+        if lost:
+            # The garbled signal still occupies the radio (carrier sense,
+            # collision bookkeeping) but can never decode.
+            rec.intact = False
+        self.sim.schedule(duration, self._finish, nbr_id, rec, lost, priority=1)
 
-    def _finish(self, nbr_id: int, rec: Reception, ) -> None:
+    def _finish(self, nbr_id: int, rec: Reception, lost: bool = False) -> None:
         now = self.sim.now
         radio = self.radios[nbr_id]
         ok = radio.finish_reception(rec, now)
         packet: "Packet" = rec.frame
         node = self._nodes[nbr_id] if self._nodes else None
+        if node is not None and not node.is_active:
+            # A dead or sleeping radio neither spends RX energy nor hears
+            # the frame (the arrival was scheduled while it was still up).
+            return
         if node is not None:
             node.energy.charge_rx(self.energy_model.rx_energy(packet.size_bits()))
-        if ok or self.perfect:
+        if lost:
+            self.frames_lost += 1
+            self.sim.trace.emit(now, TraceKind.DROP, nbr_id, packet.ptype, "loss")
+        elif ok or self.perfect:
             self.frames_delivered += 1
             self.sim.trace.emit(now, TraceKind.RX, nbr_id, packet.ptype, packet.uid)
             if node is not None:

@@ -200,11 +200,12 @@ class HelloAgent(Agent):
         self.sim.schedule(float(rng.uniform(0.0, self.jitter)), self._tick)
 
     def _tick(self) -> None:
-        if not self.node.alive:
-            return
-        self.broadcast_hello()
+        # A dead or sleeping node beacons nothing, but the timer keeps
+        # ticking so a recovered/woken node resumes HELLOs on its own.
+        if self.node.is_active:
+            self.broadcast_hello()
+            self.node.neighbor_table.purge(self.sim.now, self.expiry)
         rng = self.sim.rng.stream("hello", self.node.node_id)
-        self.node.neighbor_table.purge(self.sim.now, self.expiry)
         delay = self.period + float(rng.uniform(-self.jitter, self.jitter))
         self.sim.schedule(max(delay, 1e-6), self._tick)
 

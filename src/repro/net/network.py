@@ -30,6 +30,7 @@ import numpy as np
 from repro.mac.base import Mac
 from repro.mac.ideal import IdealMac
 from repro.net.channel import Channel
+from repro.net.loss import LossModel
 from repro.net.neighbor import HelloAgent
 from repro.net.node import Node
 from repro.net.topology import connectivity_graph
@@ -53,6 +54,7 @@ class Network:
         energy_model: Optional[EnergyModel] = None,
         perfect_channel: bool = False,
         bitrate_bps: float = 2_000_000.0,
+        loss: Optional[LossModel] = None,
     ) -> None:
         self.sim = sim
         self.positions = np.asarray(positions, dtype=float)
@@ -65,6 +67,7 @@ class Network:
             energy_model=energy_model,
             perfect=perfect_channel,
             bitrate_bps=bitrate_bps,
+            loss=loss,
         )
         if mac_factory is None:
             mac_factory = IdealMac
@@ -172,6 +175,10 @@ class Network:
     # ------------------------------------------------------------------ #
     def positions_of(self, ids: Sequence[int]) -> np.ndarray:
         return self.positions[list(ids)]
+
+    def alive_ids(self) -> List[int]:
+        """Ids of nodes that have not crashed (sleepers count as alive)."""
+        return [n.node_id for n in self.nodes if n.alive]
 
     def energy_summary(self) -> Dict[str, float]:
         """Aggregate energy use across the deployment (joules)."""

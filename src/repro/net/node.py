@@ -40,6 +40,10 @@ class Node:
         self.groups: Set[int] = set()
         #: operational flag; a failed node neither sends nor receives
         self.alive = True
+        #: duty-cycle flag; a sleeping node's radio is off (it neither
+        #: sends nor receives) but its volatile state survives, unlike a
+        #: crash
+        self.asleep = False
         self._agents: List[Agent] = []
         self._dispatch: Dict[Type[Packet], List[Agent]] = {}
 
@@ -87,7 +91,7 @@ class Node:
     # ------------------------------------------------------------------ #
     def send(self, packet: Packet) -> None:
         """Hand ``packet`` to the MAC for broadcast."""
-        if not self.alive:
+        if not self.is_active:
             return
         assert self.mac is not None, "node not wired to a MAC"
         self.mac.send(packet)
@@ -100,7 +104,7 @@ class Node:
         including frames unicast to *other* nodes, which models the
         promiscuous overhearing the protocols rely on.
         """
-        if not self.alive:
+        if not self.is_active:
             return
         if self.mac is not None and self.mac.on_frame(packet):
             return
@@ -110,14 +114,27 @@ class Node:
                     agent.on_packet(packet)
 
     # ------------------------------------------------------------------ #
-    # failure injection (route-recovery experiments, Sec. IV-D)
+    # failure injection (route-recovery experiments, Sec. IV-D;
+    # driven by repro.faults.FaultInjector)
     # ------------------------------------------------------------------ #
+    @property
+    def is_active(self) -> bool:
+        """Can this node's radio send and receive right now?"""
+        return self.alive and not self.asleep
+
     def fail(self) -> None:
         """Kill this node: it stops transmitting and receiving."""
         self.alive = False
 
     def recover(self) -> None:
         self.alive = True
+
+    def sleep(self) -> None:
+        """Enter a duty-cycle sleep window: radio off, state retained."""
+        self.asleep = True
+
+    def wake(self) -> None:
+        self.asleep = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.node_id} @ {self.position})"

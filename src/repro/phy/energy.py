@@ -14,6 +14,7 @@ Default constants approximate a CC2420-class 802.15.4 radio.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 __all__ = ["EnergyModel", "EnergyAccount"]
 
@@ -49,6 +50,11 @@ class EnergyAccount:
     initial_joules: float = field(default=2.0)  # ~ a small battery budget
     #: set True when the node has spent its budget (used by failure tests)
     depleted: bool = False
+    #: invoked exactly once, at the charge that exhausts the budget —
+    #: the hook :class:`repro.faults.FaultInjector` uses to kill the node
+    on_depleted: Optional[Callable[["EnergyAccount"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def charge_tx(self, joules: float) -> None:
         self.tx_joules += joules
@@ -69,5 +75,7 @@ class EnergyAccount:
         return max(0.0, self.initial_joules - self.consumed)
 
     def _check(self) -> None:
-        if self.consumed >= self.initial_joules:
+        if not self.depleted and self.consumed >= self.initial_joules:
             self.depleted = True
+            if self.on_depleted is not None:
+                self.on_depleted(self)

@@ -108,6 +108,8 @@ class OnDemandMulticastAgent(Agent):
         self._fg_until: Dict[GroupKey, float] = {}
         #: per group: periodic-refresh bookkeeping at the source
         self._refresh_events: Dict[int, object] = {}
+        #: per (source, group): receiver-side route-health watchdog events
+        self._monitor_events: Dict[GroupKey, object] = {}
         self.sessions: Dict[GroupKey, SessionState] = {}
         #: flow keys of data packets already processed (duplicate filter)
         self.data_seen: Set[tuple] = set()
@@ -170,7 +172,11 @@ class OnDemandMulticastAgent(Agent):
 
         This is ODMRP's soft-state route refresh; pair it with a
         ``fg_timeout`` of 2-3x the interval for mesh-like robustness under
-        membership churn, mobility, or node failures.
+        membership churn, mobility, or node failures.  The refresh cycle
+        is also the recovery mechanism fault injection relies on: a dead
+        forwarder simply drops out of the next round's tree.  While the
+        source itself is down the timer keeps ticking but floods nothing,
+        so a recovered source resumes refreshing on its own.
         """
         if group in self._refresh_events:
             return
@@ -178,7 +184,8 @@ class OnDemandMulticastAgent(Agent):
         def tick() -> None:
             if group not in self._refresh_events:
                 return  # stopped
-            self.request_route(group)
+            if self.node.is_active:
+                self.request_route(group)
             self._refresh_events[group] = self.sim.schedule(interval, tick)
 
         self._refresh_events[group] = self.sim.schedule(interval, tick)
@@ -231,6 +238,10 @@ class OnDemandMulticastAgent(Agent):
             path_profit=jq.path_profit,
         )
         self.sessions[key] = st
+        # the new round supersedes the old datapath: whoever served us data
+        # last round is no longer "the route", so the health watchdog must
+        # not keep complaining about it while the rebuild is in flight
+        self.last_data_from.pop(key, None)
         st.relay_profit = self.compute_relay_profit(jq.group, st.session)
         if self.node.is_member(jq.group):
             self._receiver_on_query(jq, st)
@@ -353,9 +364,17 @@ class OnDemandMulticastAgent(Agent):
     # route recovery (Sec. IV-D)
     # ------------------------------------------------------------------ #
     def report_route_failure(self, source: int, group: int, failed_node: int = -1) -> None:
-        """Receiver: flood a RouteError asking the source to rebuild."""
+        """Receiver: flood a RouteError asking the source to rebuild.
+
+        At most one flood per route round: re-complaining about the same
+        ``(source, group, seq)`` is a no-op, so a periodic watchdog
+        (:meth:`start_route_monitor`) cannot storm the network while the
+        rebuild is in flight.
+        """
         st = self.sessions.get((source, group))
         seq = st.seq if st is not None else 0
+        if (self.node_id, source, group, seq) in self._route_errors_seen:
+            return
         pkt = RouteError(
             src=self.node_id,
             receiver=self.node_id,
@@ -383,6 +402,34 @@ class OnDemandMulticastAgent(Agent):
             return
         fwd = pkt.clone_for_forwarding(self.node_id)
         self.sim.schedule(float(self._rng().uniform(0.0, self.query_jitter)), self.send, fwd)
+
+    def start_route_monitor(self, source: int, group: int, interval: float) -> None:
+        """Receiver: periodically verify the serving forwarder is alive.
+
+        Runs :meth:`check_route_health` every ``interval`` seconds — the
+        watchdog that turns HELLO-table expiry into RouteErrors without
+        hand-driving it from the experiment script.  Skips checks while
+        this node is down or asleep but keeps ticking, so a recovered
+        receiver resumes monitoring automatically.
+        """
+        key = (source, group)
+        if key in self._monitor_events:
+            return
+
+        def tick() -> None:
+            if key not in self._monitor_events:
+                return  # stopped
+            if self.node.is_active:
+                self.check_route_health(source, group)
+            self._monitor_events[key] = self.sim.schedule(interval, tick)
+
+        self._monitor_events[key] = self.sim.schedule(interval, tick)
+
+    def stop_route_monitor(self, source: int, group: int) -> None:
+        """Receiver: cancel the route-health watchdog for ``(source, group)``."""
+        ev = self._monitor_events.pop((source, group), None)
+        if ev is not None:
+            self.sim.cancel(ev)
 
     def check_route_health(self, source: int, group: int) -> bool:
         """Is the neighbor we last got data from still alive in our table?

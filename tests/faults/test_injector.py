@@ -1,0 +1,116 @@
+"""FaultInjector: applying plans, energy depletion, targeted crashes."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import build, forwarders_of, line_positions, run_round
+
+
+def _deployment(n=5, receivers=(4,), seed=1):
+    return build(line_positions(n), 25.0, list(receivers), OdmrpAgent, seed=seed)
+
+
+def test_plan_events_flip_node_flags():
+    sim, net, _agents = _deployment()
+    plan = (
+        FaultPlan()
+        .crash(1.0, 2)
+        .recover(3.0, 2)
+        .sleep(3, start=1.5, duration=1.0)
+    )
+    inj = FaultInjector(net, plan).arm()
+
+    sim.run(until=1.2)
+    assert not net.node(2).alive and inj.crashed == {2}
+    sim.run(until=2.0)
+    assert net.node(3).asleep and not net.node(3).is_active
+    sim.run(until=4.0)
+    assert net.node(2).alive and not net.node(3).asleep
+    assert inj.crashed == set()
+
+    assert inj.log == [
+        (1.0, 2, "crash", "plan"),
+        (1.5, 3, "sleep", "plan"),
+        (2.5, 3, "wake", "plan"),
+        (3.0, 2, "recover", "plan"),
+    ]
+    assert inj.crash_times() == [(1.0, 2)]
+    assert inj.first_crash_time() == 1.0
+
+
+def test_redundant_events_are_skipped():
+    sim, net, _agents = _deployment()
+    plan = FaultPlan().crash(1.0, 2).crash(2.0, 2).recover(3.0, 2).recover(4.0, 2)
+    inj = FaultInjector(net, plan).arm()
+    sim.run(until=5.0)
+    # the second crash and second recover were no-ops: not logged
+    assert [entry[2] for entry in inj.log] == ["crash", "recover"]
+
+
+def test_faults_emit_note_trace_records():
+    sim, net, _agents = _deployment()
+    FaultInjector(net, FaultPlan().crash(1.0, 2)).arm()
+    sim.run(until=2.0)
+    notes = list(sim.trace.filter(kind=TraceKind.NOTE, packet_type="Fault"))
+    assert len(notes) == 1
+    assert notes[0].node == 2 and notes[0].detail == ("crash", "plan")
+
+
+def test_arm_twice_raises_and_plan_is_validated():
+    _sim, net, _agents = _deployment()
+    inj = FaultInjector(net)
+    inj.arm()
+    with pytest.raises(RuntimeError):
+        inj.arm()
+    with pytest.raises(ValueError):
+        FaultInjector(net, FaultPlan().crash(1.0, 99))
+
+
+def test_energy_budget_kills_node_once():
+    sim, net, agents = _deployment()
+    inj = FaultInjector(net, energy_budget=1e-4).arm()
+    # a route round makes every node spend TX/RX energy well past 0.1 mJ
+    run_round(sim, agents)
+    assert inj.crashed, "no node depleted its budget"
+    for t, node, kind, cause in inj.log:
+        assert kind == "crash" and cause == "energy"
+    # exactly one crash per depleted node, even though charges continued
+    crashed_nodes = [n for _t, n, _k, _c in inj.log]
+    assert len(crashed_nodes) == len(set(crashed_nodes))
+    for n in inj.crashed:
+        assert net.node(n).energy.depleted
+
+
+def test_dead_node_sends_and_receives_nothing():
+    sim, net, agents = _deployment()
+    FaultInjector(net, FaultPlan().crash(0.5, 2)).arm()
+    sim.run(until=0.6)  # kill the bridge before the route round starts
+    run_round(sim, agents, settle=2.0)
+    # node 2 is the only bridge in the line: nothing beyond it gets data
+    assert 4 not in sim.trace.nodes_with(TraceKind.DELIVER)
+    assert not list(sim.trace.filter(kind=TraceKind.TX, node=2))
+
+
+def test_schedule_forwarder_crash_hits_a_mid_tree_relay():
+    sim, net, agents = _deployment(n=5, receivers=(4,))
+    run_round(sim, agents)
+    before = forwarders_of(agents)
+    assert before, "round built no forwarders"
+
+    inj = FaultInjector(net).arm()
+    inj.schedule_forwarder_crash(sim.now + 0.1, agents)
+    sim.run(until=sim.now + 0.2)
+    assert len(inj.crashed) == 1
+    victim = next(iter(inj.crashed))
+    assert victim in before and victim != 0 and victim != 4
+    assert inj.log[0][3] == "forwarder"
+
+
+def test_schedule_forwarder_crash_noop_without_forwarders():
+    sim, net, agents = _deployment()
+    inj = FaultInjector(net).arm()
+    inj.schedule_forwarder_crash(0.5, agents)
+    sim.run(until=1.0)
+    assert inj.crashed == set() and inj.log == []

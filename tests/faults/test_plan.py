@@ -1,0 +1,82 @@
+"""FaultPlan: builders, generated plans, validation, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+
+def test_builders_chain_and_sort():
+    plan = FaultPlan().crash(5.0, 3).recover(9.0, 3).crash(1.0, 7)
+    assert len(plan) == 3
+    assert [(e.time, e.node, e.kind) for e in plan.events] == [
+        (1.0, 7, FaultKind.CRASH),
+        (5.0, 3, FaultKind.CRASH),
+        (9.0, 3, FaultKind.RECOVER),
+    ]
+    assert [e.node for e in plan.crashes()] == [7, 3]
+
+
+def test_sleep_adds_paired_window():
+    plan = FaultPlan().sleep(4, start=2.0, duration=1.5)
+    assert [(e.time, e.kind) for e in plan.events] == [
+        (2.0, FaultKind.SLEEP),
+        (3.5, FaultKind.WAKE),
+    ]
+    with pytest.raises(ValueError):
+        FaultPlan().sleep(4, start=2.0, duration=0.0)
+
+
+def test_duty_cycle_windows():
+    plan = FaultPlan().duty_cycle(2, period=1.0, active_fraction=0.6, start=0.0, end=2.0)
+    evs = plan.events
+    sleeps = [e.time for e in evs if e.kind is FaultKind.SLEEP]
+    wakes = [e.time for e in evs if e.kind is FaultKind.WAKE]
+    assert sleeps == pytest.approx([0.6, 1.6])
+    assert wakes == pytest.approx([1.0, 2.0])
+    # always-on duty cycle schedules nothing
+    assert len(FaultPlan().duty_cycle(2, 1.0, 1.0, 0.0, 2.0)) == 0
+    with pytest.raises(ValueError):
+        FaultPlan().duty_cycle(2, 1.0, 0.0, 0.0, 2.0)
+    with pytest.raises(ValueError):
+        FaultPlan().duty_cycle(2, 1.0, 0.5, 2.0, 1.0)
+
+
+def test_random_crashes_deterministic_and_distinct():
+    mk = lambda: FaultPlan.random_crashes(
+        np.random.default_rng(42), range(1, 50), n_crashes=5,
+        window=(1.0, 3.0), recover_after=0.5,
+    )
+    p1, p2 = mk(), mk()
+    assert p1.to_dicts() == p2.to_dicts()
+    crashes = p1.crashes()
+    assert len(crashes) == 5
+    assert len({e.node for e in crashes}) == 5
+    assert all(1.0 <= e.time <= 3.0 for e in crashes)
+    recovers = [e for e in p1.events if e.kind is FaultKind.RECOVER]
+    by_node = {e.node: e.time for e in recovers}
+    assert all(by_node[e.node] == pytest.approx(e.time + 0.5) for e in crashes)
+
+
+def test_random_crashes_rejects_oversubscription():
+    with pytest.raises(ValueError):
+        FaultPlan.random_crashes(np.random.default_rng(0), [1, 2], 3, (0.0, 1.0))
+    with pytest.raises(ValueError):
+        FaultPlan.random_crashes(np.random.default_rng(0), [1, 2], 1, (2.0, 1.0))
+
+
+def test_validate():
+    FaultPlan().crash(1.0, 4).validate(5)
+    with pytest.raises(ValueError):
+        FaultPlan().crash(1.0, 5).validate(5)
+    with pytest.raises(ValueError):
+        FaultPlan().crash(-1.0, 0).validate(5)
+
+
+def test_serialisation_roundtrip():
+    plan = FaultPlan().crash(1.0, 2).sleep(3, 2.0, 0.5).recover(4.0, 2)
+    again = FaultPlan.from_dicts(plan.to_dicts())
+    assert again.to_dicts() == plan.to_dicts()
+    assert FaultEvent.from_dict({"time": 1, "node": 2, "kind": "crash"}) == FaultEvent(
+        1.0, 2, FaultKind.CRASH
+    )

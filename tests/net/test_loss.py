@@ -1,0 +1,126 @@
+"""Loss models: statistics, burstiness, and channel integration."""
+
+import numpy as np
+import pytest
+
+from repro.net.flooding import FloodingAgent
+from repro.net.loss import GilbertElliott, IidLoss
+from repro.net.network import Network
+from repro.mac.ideal import IdealMac
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+from tests.core.helpers import line_positions
+
+
+def test_iid_extremes_draw_nothing():
+    class Forbidden:
+        def random(self):  # pragma: no cover - must never run
+            raise AssertionError("p=0/1 must not consume randomness")
+
+    assert not IidLoss(0.0, Forbidden()).frame_lost(0, 1)
+    assert IidLoss(1.0, Forbidden()).frame_lost(0, 1)
+
+
+def test_iid_rate_matches_p():
+    model = IidLoss(0.3, np.random.default_rng(7))
+    n = 20_000
+    losses = sum(model.frame_lost(0, 1) for _ in range(n))
+    assert losses / n == pytest.approx(0.3, abs=0.02)
+    assert model.expected_loss() == 0.3
+    with pytest.raises(ValueError):
+        IidLoss(1.5, np.random.default_rng(0))
+
+
+def test_gilbert_elliott_stationary_loss():
+    model = GilbertElliott(rng=np.random.default_rng(3))
+    n = 50_000
+    losses = sum(model.frame_lost(0, 1) for _ in range(n))
+    assert losses / n == pytest.approx(model.expected_loss(), abs=0.02)
+    assert model.expected_loss() == pytest.approx(0.02 / 0.27)
+
+
+def test_gilbert_elliott_losses_are_bursty():
+    model = GilbertElliott(rng=np.random.default_rng(11))
+    outcomes = [model.frame_lost(0, 1) for _ in range(50_000)]
+    runs, current = [], 0
+    for lost in outcomes:
+        if lost:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    mean_burst = sum(runs) / len(runs)
+    # default p_bad_good=0.25 => mean burst 4 frames; i.i.d. at the same
+    # loss rate would give ~1.08
+    assert model.mean_burst_frames() == 4.0
+    assert mean_burst == pytest.approx(4.0, rel=0.15)
+
+
+def test_gilbert_elliott_links_have_independent_state():
+    model = GilbertElliott(
+        p_good_bad=1.0, p_bad_good=0.0, rng=np.random.default_rng(5)
+    )
+    model.frame_lost(0, 1)  # drives link (0, 1) into Bad permanently
+    assert model.frame_lost(0, 1)  # Bad: always lost now
+    assert model._bad[(0, 1)]
+    assert (1, 0) not in model._bad  # reverse direction untouched
+    with pytest.raises(ValueError):
+        GilbertElliott(rng=None)
+    with pytest.raises(ValueError):
+        GilbertElliott(p_good_bad=2.0, rng=np.random.default_rng(0))
+
+
+def _flood_net(loss, n=3):
+    sim = Simulator(seed=1)
+    net = Network(
+        sim,
+        np.asarray(line_positions(n), dtype=float),
+        comm_range=25.0,
+        mac_factory=IdealMac,
+        perfect_channel=True,
+        loss=loss,
+    )
+    net.set_group_members(1, [n - 1])
+    net.bootstrap_neighbor_tables()
+    agents = net.install(lambda node: FloodingAgent())
+    net.start()
+    return sim, net, agents
+
+
+def test_channel_total_loss_blocks_delivery_but_counts_frames():
+    sim, net, agents = _flood_net(IidLoss(1.0, np.random.default_rng(0)))
+    agents[0].originate(1, 0)
+    sim.run(until=2.0)
+    assert sim.trace.nodes_with(TraceKind.DELIVER) == set()
+    assert net.channel.frames_lost > 0
+    assert net.channel.frames_delivered == 0
+    drops = list(sim.trace.filter(kind=TraceKind.DROP))
+    assert drops and all(r.detail == "loss" for r in drops)
+
+
+def test_channel_without_loss_model_unchanged():
+    sim, net, agents = _flood_net(None)
+    agents[0].originate(1, 0)
+    sim.run(until=2.0)
+    assert 2 in sim.trace.nodes_with(TraceKind.DELIVER)
+    assert net.channel.frames_lost == 0
+
+
+def test_lossy_frames_still_charge_sender_not_receiver_when_asleep():
+    sim, net, agents = _flood_net(None)
+    net.node(1).sleep()
+    agents[0].originate(1, 0)
+    sim.run(until=2.0)
+    # the sleeping node's radio is off: no RX energy, no delivery beyond it
+    assert net.node(1).energy.rx_joules == 0.0
+    assert net.node(0).energy.tx_joules > 0.0
+    assert sim.trace.nodes_with(TraceKind.DELIVER) == set()
+
+
+def test_dead_sender_mac_transmission_is_suppressed():
+    sim, net, agents = _flood_net(None)
+    agents[0].originate(1, 0)
+    net.node(0).alive = False  # dies after send() queued the frame at the MAC
+    sim.run(until=2.0)
+    assert net.channel.frames_suppressed >= 1
+    assert not list(sim.trace.filter(kind=TraceKind.TX, node=0))

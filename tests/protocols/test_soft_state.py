@@ -1,0 +1,107 @@
+"""Soft-state semantics of the route round: seq-based replacement.
+
+Each refresh flood carries a fresh sequence number; nodes keep only the
+newest round's session state.  These tests pin the replacement rules that
+the fault-recovery machinery leans on: stale floods are dropped as
+duplicates, a newer round rebuilds state from scratch (clearing the
+forwarder flag until re-confirmed), and a node that crashed through a
+round rejoins on the next one.
+"""
+
+from repro.net.packet import BROADCAST
+from repro.protocols.base import JoinQuery
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.trace import TraceKind
+from tests.core.helpers import build, forwarders_of, line_positions, run_round
+
+
+def _query(seq, src=0, hop_count=0):
+    return JoinQuery(
+        src=src, dst=BROADCAST, source=0, group=1, seq=seq, hop_count=hop_count,
+        path_profit=0,
+    )
+
+
+class TestSeqReplacement:
+    def test_stale_seq_dropped_as_duplicate(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent())
+        run_round(sim, agents)  # establishes seq 0 everywhere
+        drops_before = sim.trace.count(TraceKind.DROP, "JoinQuery")
+        agents[1].on_packet(_query(seq=0))  # replay of the current round
+        assert sim.trace.count(TraceKind.DROP, "JoinQuery") == drops_before + 1
+        assert agents[1].state_of(0, 1).seq == 0  # state untouched
+
+    def test_newer_seq_replaces_state_and_clears_forwarder(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent())
+        run_round(sim, agents)
+        st0 = agents[1].state_of(0, 1)
+        assert st0.is_forwarder  # the line's only relay
+
+        agents[1].on_packet(_query(seq=1))
+        st1 = agents[1].state_of(0, 1)
+        assert st1 is not st0 and st1.seq == 1
+        # forwarder status is per-round: cleared until a JoinReply re-confirms
+        assert not st1.is_forwarder
+
+    def test_refresh_round_reconfirms_forwarders(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent())
+        run_round(sim, agents)
+        assert forwarders_of(agents) == {1}
+        agents[0].request_route(1)  # refresh: seq 1
+        sim.run(until=sim.now + 1.0)
+        st = agents[1].state_of(0, 1)
+        assert st.seq == 1 and st.is_forwarder
+
+    def test_reply_from_stale_round_is_ignored(self):
+        sim, _net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                  agent_factory=lambda: OdmrpAgent())
+        run_round(sim, agents)
+        agents[1].on_packet(_query(seq=3))  # jump ahead; no reply seen yet
+        st = agents[1].state_of(0, 1)
+        assert st.seq == 3 and not st.is_forwarder
+        # a JoinReply for the old round must not resurrect the forwarder flag
+        from repro.protocols.base import JoinReply
+
+        agents[1].on_packet(JoinReply(
+            src=2, dst=1, nexthop=1, receiver=2, source=0, group=1, seq=0,
+        ))
+        assert not agents[1].state_of(0, 1).is_forwarder
+
+
+class TestRecoveredNodeRejoins:
+    def test_crashed_relay_rejoins_on_next_refresh(self):
+        sim, net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                 agent_factory=lambda: OdmrpAgent())
+        agents[0].request_route(1)
+        agents[0].start_periodic_refresh(1, interval=1.0)
+        sim.run(until=0.5)
+        assert forwarders_of(agents) == {1}
+
+        net.node(1).fail()  # the bridge dies: round 1 can't cross it
+        sim.run(until=1.5)
+        net.node(1).recover()
+        sim.run(until=2.6)  # round 2 refloods through the recovered node
+
+        st = agents[1].state_of(0, 1)
+        assert st.seq == 2 and st.is_forwarder
+        agents[0].send_data(1, 7)
+        sim.run(until=sim.now + 0.5)
+        assert any(r.detail == (0, 1, 7)
+                   for r in sim.trace.filter(kind=TraceKind.DELIVER, node=2))
+
+    def test_sleeping_receiver_covered_after_wake(self):
+        sim, net, agents = build(line_positions(3), 25.0, receivers=[2],
+                                 agent_factory=lambda: OdmrpAgent())
+        net.node(2).sleep()
+        agents[0].request_route(1)
+        agents[0].start_periodic_refresh(1, interval=1.0)
+        sim.run(until=0.5)
+        assert agents[2].state_of(0, 1) is None  # slept through round 0
+
+        net.node(2).wake()
+        sim.run(until=1.6)
+        st = agents[2].state_of(0, 1)
+        assert st is not None and st.covered
