@@ -14,6 +14,7 @@ from repro.net.channel import Channel
 from repro.net.topology import grid_topology, random_topology
 from repro.sim.events import EventQueue
 from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind, TraceRecorder
 
 
 def test_event_queue_throughput(benchmark):
@@ -63,8 +64,47 @@ def test_channel_construction_200_nodes(benchmark):
     assert ch.n == 200
 
 
+def test_channel_construction_2000_nodes(benchmark):
+    """Spatial-hash neighbor indexing at 10x the paper's deployment size.
+
+    The dense O(n^2) geometry made this take ~100x the 200-node build;
+    the sparse index keeps it near-linear in n*k.
+    """
+    pos = random_topology(2000, side=632.45, rng=np.random.default_rng(3))
+
+    def build():
+        sim = Simulator(seed=1)
+        return Channel(sim, pos, comm_range=40.0)
+
+    ch = benchmark(build)
+    assert ch.n == 2000
+
+
 def test_full_mtmrp_round_grid(benchmark):
     """End-to-end cost of one Monte-Carlo run (the sweeps' unit of work)."""
     cfg = SimulationConfig(protocol="mtmrp", topology="grid", group_size=20, seed=5)
-    res = benchmark(run_single, cfg)
+    res = benchmark(run_single, cfg, cache=False)
     assert res.delivery_ratio > 0.8
+
+
+def test_trace_queries_indexed(benchmark):
+    """Metric-style queries over 50k stored records ride the indexes."""
+    tr = TraceRecorder()
+    for i in range(50_000):
+        tr.emit(
+            float(i),
+            TraceKind.TX if i % 3 else TraceKind.RX,
+            i % 500,
+            "DataPacket" if i % 2 else "JoinQuery",
+            i,
+        )
+
+    def queries():
+        total = 0
+        for _ in range(20):
+            total += len(tr.nodes_with(TraceKind.TX, "DataPacket"))
+            total += tr.count(TraceKind.TX)
+            total += sum(1 for _ in tr.filter(kind=TraceKind.RX, packet_type="JoinQuery"))
+        return total
+
+    assert benchmark(queries) > 0

@@ -47,6 +47,11 @@ from repro.sim.trace import TraceKind
 
 __all__ = ["MtmrpAgent"]
 
+#: Default backoff shared across agents — :class:`BiasedBackoff` is
+#: stateless (frozen params, rng passed per call), so one instance
+#: serves every node.
+_DEFAULT_BACKOFF = BiasedBackoff(BackoffParams())
+
 
 class MtmrpAgent(OnDemandMulticastAgent):
     """The paper's protocol.  ``phs=False`` gives the "MTMRP w/o PHS" arm."""
@@ -60,7 +65,7 @@ class MtmrpAgent(OnDemandMulticastAgent):
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
-        self.backoff = backoff if backoff is not None else BiasedBackoff(BackoffParams())
+        self.backoff = backoff if backoff is not None else _DEFAULT_BACKOFF
         self.phs = phs
         if not phs:
             self.protocol_name = "MTMRP w/o PHS"

@@ -6,6 +6,8 @@ Examples::
     python -m repro.experiments fig7 --runs 20
     python -m repro.experiments fig9
     python -m repro.experiments all --runs 10     # quick pass over everything
+    python -m repro.experiments bench             # write BENCH_core.json
+    python -m repro.experiments scaling           # 200..2000-node sweep
 
 Output is plain text (tables + ASCII charts); redirect to a file to keep a
 record, e.g. ``python -m repro.experiments fig5 --runs 100 > fig5.txt``.
@@ -14,6 +16,7 @@ record, e.g. ``python -m repro.experiments fig5 --runs 100 > fig5.txt``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -160,6 +163,38 @@ def _run_faults(args) -> None:
                   f"{v['recovery_latency']:>12.3f} {v['recovered_runs']:>10.0%}")
 
 
+def _run_bench(args) -> None:
+    from repro.experiments.bench import write_bench_json
+
+    out = args.bench_out
+    print(f"\n== Microbenchmarks (writing {out}) ==")
+    results = write_bench_json(out=out, fast=args.fast)
+    for name, entry in results.items():
+        if "wall_s" in entry:
+            speed = entry.get("speedup")
+            extra = f"  {speed:5.1f}x vs seed" if speed is not None else ""
+            print(f"  {name:28s} {entry['wall_s'] * 1e3:9.3f} ms"
+                  f"  {entry['ops_per_s']:>12,.0f} ops/s{extra}")
+        else:
+            print(f"  {name:28s} {entry['peak_mb']:9.2f} MB peak"
+                  f"  ({entry['memory_ratio']:.1f}x below seed)")
+
+
+def _run_scaling(args) -> None:
+    from repro.experiments.scaling import DEFAULT_SIZES, scaling_sweep, write_scaling_json
+
+    sizes = tuple(args.sizes) if args.sizes else tuple(DEFAULT_SIZES)
+    print(f"\n== Scaling sweep (MTMRP, paper density, sizes={sizes}) ==")
+    points = scaling_sweep(sizes=sizes, seed=args.seed if args.seed is not None else 7)
+    print(f"{'nodes':>7} {'build(s)':>9} {'run(s)':>8} {'events':>9} "
+          f"{'events/s':>10} {'frames':>8} {'delivers':>9}")
+    for p in points:
+        print(f"{p.n_nodes:>7} {p.build_s:>9.3f} {p.run_s:>8.3f} {p.events:>9} "
+              f"{p.events_per_s:>10,.0f} {p.frames_sent:>8} {p.delivers:>9}")
+    write_scaling_json(points)
+    print("[json] results/scaling.json")
+
+
 COMMANDS = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -170,7 +205,13 @@ COMMANDS = {
     "ablations": _run_ablations,
     "load": _run_load,
     "faults": _run_faults,
+    "bench": _run_bench,
+    "scaling": _run_scaling,
 }
+
+#: Utility commands excluded from ``all`` (they measure the machine, not
+#: the paper).
+_NON_FIGURE = {"bench", "scaling"}
 
 
 def main(argv=None) -> int:
@@ -189,10 +230,34 @@ def main(argv=None) -> int:
         "--svg-dir", default=None,
         help="also write SVG charts of each figure into this directory",
     )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="reuse identical runs from the results/cache/ disk cache "
+             "(sets REPRO_RESULT_CACHE; delete the directory to invalidate)",
+    )
+    parser.add_argument(
+        "--bench-out", default="BENCH_core.json",
+        help="output path for the bench command",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="bench: fewer repetitions (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", default=None,
+        help="scaling: deployment sizes to sweep (default 200 500 1000 2000)",
+    )
     args = parser.parse_args(argv)
 
+    if args.cache:
+        os.environ.setdefault("REPRO_RESULT_CACHE", "results/cache")
+
     t0 = time.time()
-    targets = list(COMMANDS) if args.figure == "all" else [args.figure]
+    targets = (
+        [n for n in COMMANDS if n not in _NON_FIGURE]
+        if args.figure == "all"
+        else [args.figure]
+    )
     for name in targets:
         COMMANDS[name](args)
     # progress chatter belongs on an interactive terminal only; when stderr

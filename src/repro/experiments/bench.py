@@ -1,0 +1,176 @@
+"""Microbenchmark harness for the simulation fast path.
+
+``python -m repro.experiments bench`` runs one timed workload per hot
+path — event-heap churn, kernel run loop, channel construction (200 and
+2000 nodes), a full MTMRP round, trace queries — plus a peak-memory probe
+of 2000-node channel construction, and writes the machine-readable
+``BENCH_core.json``.  Each entry carries wall-time, ops/sec, and the
+speedup against :data:`SEED_BASELINE` — the same workloads measured on
+the pre-optimisation tree — so the perf trajectory is tracked from this
+PR onward.  ``docs/PERFORMANCE.md`` explains how to read and regenerate
+the file.
+
+Timings are min-of-N ``perf_counter`` measurements (minimum, not mean:
+the minimum is the least-noisy estimator of the achievable time on a
+shared machine).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+__all__ = ["SEED_BASELINE", "run_benchmarks", "write_bench_json"]
+
+#: Min-of-N wall seconds for the identical workloads on the seed tree
+#: (dense geometry, Event-object heap, scanning trace queries), captured
+#: on the reference CI-class machine immediately before the fast-path
+#: overhaul.  ``channel_2000_peak_mb`` is tracemalloc peak megabytes.
+SEED_BASELINE: Dict[str, float] = {
+    "event_queue_churn_10k": 0.048870,
+    "simulator_cascade_20k": 0.033179,
+    "channel_construction_200": 0.0023280,
+    "channel_construction_2000": 0.35256,
+    "full_mtmrp_round_grid": 0.045681,
+    "trace_queries_50k": 0.092916,
+    "channel_2000_peak_mb": 228.86,
+}
+
+
+def _best_of(fn: Callable[[], None], repeat: int, number: int = 1) -> float:
+    times = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        times.append((time.perf_counter() - t0) / number)
+    return min(times)
+
+
+def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
+    """Execute every microbenchmark; returns ``{name: entry}``.
+
+    Each entry has ``wall_s``, ``ops``, ``ops_per_s``, and — when the
+    seed tree measured the same workload — ``baseline_wall_s`` and
+    ``speedup``.  ``fast=True`` cuts repetitions for CI smoke runs.
+    """
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.runner import run_single
+    from repro.net.channel import Channel
+    from repro.net.topology import random_topology
+    from repro.sim.events import EventQueue
+    from repro.sim.kernel import Simulator
+    from repro.sim.trace import TraceKind, TraceRecorder
+
+    results: Dict[str, Dict[str, float]] = {}
+
+    def record(name: str, wall_s: float, ops: float) -> None:
+        entry = {"wall_s": wall_s, "ops": ops, "ops_per_s": ops / wall_s}
+        base = SEED_BASELINE.get(name)
+        if base is not None:
+            entry["baseline_wall_s"] = base
+            entry["speedup"] = base / wall_s
+        results[name] = entry
+
+    # -- event heap: 10k pushes then full drain ------------------------- #
+    def churn() -> None:
+        q = EventQueue()
+        push = q.push
+        for i in range(10_000):
+            push(float(i % 97), None.__class__)
+        while q:
+            q.pop()
+
+    record("event_queue_churn_10k", _best_of(churn, 3 if fast else 7), 20_000)
+
+    # -- kernel run loop: 20k-event self-rescheduling chain ------------- #
+    def cascade() -> None:
+        sim = Simulator(seed=1)
+        remaining = [20_000]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+
+    record("simulator_cascade_20k", _best_of(cascade, 3 if fast else 7), 20_000)
+
+    # -- channel construction: paper-size and 10x deployments ----------- #
+    pos200 = random_topology(200, rng=np.random.default_rng(3), comm_range=40.0)
+    record(
+        "channel_construction_200",
+        _best_of(lambda: Channel(Simulator(seed=1), pos200, comm_range=40.0),
+                 5 if fast else 9, 5),
+        1,
+    )
+    pos2000 = random_topology(2000, side=632.45, rng=np.random.default_rng(3))
+    record(
+        "channel_construction_2000",
+        _best_of(lambda: Channel(Simulator(seed=1), pos2000, comm_range=40.0),
+                 3, 1),
+        1,
+    )
+
+    # -- full protocol round (construction + flood + data) -------------- #
+    cfg = SimulationConfig(protocol="mtmrp", topology="grid", group_size=20, seed=5)
+    run_single(cfg, cache=False)  # warm imports outside the timed region
+    record(
+        "full_mtmrp_round_grid",
+        _best_of(lambda: run_single(cfg, cache=False), 3 if fast else 5, 1),
+        1,
+    )
+
+    # -- trace queries over 50k stored records -------------------------- #
+    tr = TraceRecorder()
+    for i in range(50_000):
+        tr.emit(
+            float(i),
+            TraceKind.TX if i % 3 else TraceKind.RX,
+            i % 500,
+            "DataPacket" if i % 2 else "JoinQuery",
+            i,
+        )
+
+    def queries() -> None:
+        for _ in range(20):
+            tr.nodes_with(TraceKind.TX, "DataPacket")
+            tr.count(TraceKind.TX)
+            sum(1 for _ in tr.filter(kind=TraceKind.RX, packet_type="JoinQuery"))
+
+    record("trace_queries_50k", _best_of(queries, 3 if fast else 5, 1), 60)
+
+    # -- geometry memory at 2000 nodes ---------------------------------- #
+    tracemalloc.start()
+    Channel(Simulator(seed=1), pos2000, comm_range=40.0)
+    _cur, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_mb = peak / 1e6
+    results["channel_2000_peak_mb"] = {
+        "peak_mb": peak_mb,
+        "baseline_mb": SEED_BASELINE["channel_2000_peak_mb"],
+        "memory_ratio": SEED_BASELINE["channel_2000_peak_mb"] / peak_mb,
+    }
+    return results
+
+
+def write_bench_json(
+    out: Union[str, Path] = "BENCH_core.json", fast: bool = False
+) -> Dict[str, Dict[str, float]]:
+    """Run the suite and persist ``BENCH_core.json``; returns the results."""
+    results = run_benchmarks(fast=fast)
+    payload = {
+        "schema": 1,
+        "command": "PYTHONPATH=src python -m repro.experiments bench",
+        "baseline": "seed tree (dense geometry, Event-object heap), see SEED_BASELINE",
+        "benchmarks": results,
+    }
+    Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return results

@@ -133,6 +133,26 @@ class SimulationConfig:
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **changes)
 
+    @classmethod
+    def scaled(cls, n_nodes: int, **overrides) -> "SimulationConfig":
+        """Random deployment of ``n_nodes`` at the paper's node density.
+
+        Sec. V-A uses 200 nodes on a 200 x 200 m field (5e-3 nodes/m²,
+        ~25 expected neighbors at 40 m range); the field side grows as
+        ``sqrt(n)`` so larger deployments keep that local structure.
+        1000–5000 nodes are supported workloads on the sparse channel
+        backend (see ``docs/PERFORMANCE.md``).
+        """
+        if n_nodes < 2:
+            raise ValueError("scaled deployments need at least 2 nodes")
+        defaults: Dict[str, object] = dict(
+            topology="random",
+            random_nodes=n_nodes,
+            side=200.0 * float(np.sqrt(n_nodes / 200.0)),
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
 
 def make_positions(cfg: SimulationConfig, rng: np.random.Generator) -> np.ndarray:
     """Node coordinates for this run (grid is deterministic; random drawn)."""

@@ -14,7 +14,6 @@ by digesting the full trace into ``trace_sha256``.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,7 +26,7 @@ from repro.experiments.config import (
     make_positions,
 )
 from repro.sim.kernel import Simulator
-from repro.sim.trace import TraceKind, TraceRecorder
+from repro.sim.trace import TraceKind, TraceRecorder, trace_digest
 
 __all__ = ["FaultRunResult", "run_fault_single", "fault_sweep", "trace_digest"]
 
@@ -60,16 +59,6 @@ class FaultRunResult:
     trace_sha256: str
     #: the injector's applied-fault log: (time, node, kind, cause)
     fault_log: Tuple[Tuple[float, int, str, str], ...]
-
-
-def trace_digest(trace: TraceRecorder) -> str:
-    """Deterministic sha256 fingerprint of a finished run's trace."""
-    h = hashlib.sha256()
-    for rec in trace.records:
-        h.update(
-            repr((rec.time, rec.kind.value, rec.node, rec.packet_type, rec.detail)).encode()
-        )
-    return h.hexdigest()
 
 
 def run_fault_single(

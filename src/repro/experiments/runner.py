@@ -6,13 +6,26 @@ executes them serially by default and fans out over a process pool when
 ``workers > 1`` — the multiprocessing analogue of the mpi4py scatter
 pattern from the hpc-parallel guides, with per-run seeds derived
 deterministically from the batch seed (``SeedSequence.spawn`` style).
+Results stream back as workers finish (``as_completed``), so a progress
+callback sees completions immediately instead of after the whole batch.
+
+Because a run is a pure function of its config, results are also
+*cacheable*: :func:`run_single` can content-hash the config and reuse a
+previous :class:`RunResult` from disk (``results/cache/`` by convention;
+see :func:`config_hash`).  Delete the cache directory — or bump
+``CACHE_VERSION`` when run semantics change — to invalidate.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import gc
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,7 +39,24 @@ from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceKind, TraceRecorder
 
-__all__ = ["RunResult", "run_single", "run_many", "monte_carlo", "aggregate"]
+__all__ = [
+    "RunResult",
+    "run_single",
+    "run_many",
+    "monte_carlo",
+    "aggregate",
+    "config_hash",
+    "CACHE_VERSION",
+]
+
+#: Bump whenever a change alters what a run computes for the *same*
+#: config (new metrics, different semantics) — stale cache entries become
+#: unreachable because the version participates in :func:`config_hash`.
+CACHE_VERSION = 1
+
+#: Environment variable naming the default run-result cache directory.
+#: Unset (the default) disables caching entirely.
+CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
 
 
 @dataclass(frozen=True)
@@ -71,14 +101,110 @@ def _trace_kinds(cfg: SimulationConfig) -> set:
     return kinds
 
 
-def run_single(cfg: SimulationConfig, keep_positions: bool = False) -> RunResult:
-    """Execute one multicast round under ``cfg`` and collect all metrics."""
+# --------------------------------------------------------------------- #
+# run-result disk cache
+# --------------------------------------------------------------------- #
+def config_hash(cfg: SimulationConfig) -> str:
+    """Content hash identifying a run: the full config + cache version."""
+    payload = repr((CACHE_VERSION, sorted(asdict(cfg).items())))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _default_cache_dir() -> Optional[Path]:
+    path = os.environ.get(CACHE_ENV_VAR)
+    return Path(path) if path else None
+
+
+def _cache_load(path: Path) -> Optional[RunResult]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    payload["transmitters"] = tuple(payload.get("transmitters", ()))
+    payload["receivers"] = tuple(payload.get("receivers", ()))
+    payload["positions"] = None
+    return RunResult(**payload)
+
+
+def _cache_store(path: Path, result: RunResult) -> None:
+    payload = asdict(result)
+    payload.pop("positions", None)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    # default=float folds numpy scalars; write-then-rename keeps readers
+    # of a shared cache from seeing half a file
+    tmp.write_text(json.dumps(payload, default=float))
+    tmp.replace(path)
+
+
+def run_single(
+    cfg: SimulationConfig,
+    keep_positions: bool = False,
+    trace: Optional[TraceRecorder] = None,
+    cache: Union[None, bool, str, Path] = None,
+) -> RunResult:
+    """Execute one multicast round under ``cfg`` and collect all metrics.
+
+    Parameters
+    ----------
+    keep_positions:
+        Retain the deployment coordinates on the result (snapshot plots).
+    trace:
+        Optional externally supplied recorder — lets callers observe the
+        full event trace of the run (determinism tests, debugging).  The
+        default recorder keeps only the kinds the metrics layer reads.
+    cache:
+        Run-result disk cache: a directory path enables it there, True
+        uses ``$REPRO_RESULT_CACHE``, False disables, and None (default)
+        enables iff ``$REPRO_RESULT_CACHE`` is set.  Only plain metric
+        runs are cached — never runs keeping positions or an external
+        trace, whose value is in the side artifacts.
+    """
+    cache_dir: Optional[Path]
+    if cache is False:
+        cache_dir = None
+    elif cache is None or cache is True:
+        cache_dir = _default_cache_dir()
+    else:
+        cache_dir = Path(cache)
+    cacheable = cache_dir is not None and not keep_positions and trace is None
+    if cacheable:
+        cache_path = cache_dir / f"{config_hash(cfg)}.json"
+        cached = _cache_load(cache_path)
+        if cached is not None:
+            return cached
+
+    # Pause cyclic GC across build + run + metrics: network assembly
+    # allocates tens of thousands of containers whose churn triggers
+    # pointless gen-0 scans (the run loop pauses GC on its own, but the
+    # build phase is a comparable allocation burst).
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        result = _execute_run(cfg, keep_positions=keep_positions, trace=trace)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if cacheable:
+        _cache_store(cache_path, result)
+    return result
+
+
+def _execute_run(
+    cfg: SimulationConfig,
+    keep_positions: bool = False,
+    trace: Optional[TraceRecorder] = None,
+) -> RunResult:
+    """Build the network, run the round, and collect metrics (no caching)."""
     from repro.mac.csma import CsmaMac
     from repro.mac.ideal import IdealMac
     from repro.metrics.collect import collect_metrics
     from repro.net.network import Network
 
-    sim = Simulator(seed=cfg.seed, trace=TraceRecorder(enabled_kinds=_trace_kinds(cfg)))
+    if trace is None:
+        trace = TraceRecorder(enabled_kinds=_trace_kinds(cfg))
+    sim = Simulator(seed=cfg.seed, trace=trace)
     positions = make_positions(cfg, sim.rng.stream("topology"))
     perfect = cfg.perfect_channel or cfg.mac == "ideal"
     mac_factory = IdealMac if cfg.mac == "ideal" else CsmaMac
@@ -149,7 +275,7 @@ def run_single(cfg: SimulationConfig, keep_positions: bool = False) -> RunResult
         m = _geo_metrics(net, cfg, receivers)
     else:
         m = collect_metrics(net, agents, cfg.source, cfg.group, receivers)
-    return RunResult(
+    result = RunResult(
         protocol=cfg.protocol,
         topology=cfg.topology,
         group_size=cfg.group_size,
@@ -174,6 +300,7 @@ def run_single(cfg: SimulationConfig, keep_positions: bool = False) -> RunResult
         receivers=tuple(receivers),
         positions=positions if keep_positions else None,
     )
+    return result
 
 
 def _flooding_metrics(net, cfg: SimulationConfig, receivers: Sequence[int]):
@@ -236,23 +363,51 @@ def monte_carlo(cfg: SimulationConfig, n_runs: int, batch_seed: int = 12345) -> 
 def run_many(
     configs: Iterable[SimulationConfig],
     workers: int = 1,
+    progress: Optional[Callable[[int, int, RunResult], None]] = None,
 ) -> List[RunResult]:
-    """Run every config; process-parallel when ``workers > 1``."""
+    """Run every config; process-parallel when ``workers > 1``.
+
+    Results keep the order of ``configs``.  With ``workers > 1`` each
+    config is submitted individually and collected as it completes, so
+    memory stays bounded by finished results and ``progress(done, total,
+    result)`` — if given — fires the moment each run lands rather than
+    when the slowest chunk of a ``pool.map`` drains.
+    """
     cfgs = list(configs)
+    total = len(cfgs)
     if workers <= 1:
-        return [run_single(c) for c in cfgs]
+        results = []
+        for c in cfgs:
+            r = run_single(c)
+            results.append(r)
+            if progress is not None:
+                progress(len(results), total, r)
+        return results
+    results: List[Optional[RunResult]] = [None] * total
+    done = 0
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_single, cfgs, chunksize=max(1, len(cfgs) // (4 * workers))))
+        futures = {pool.submit(run_single, c): k for k, c in enumerate(cfgs)}
+        for fut in as_completed(futures):
+            res = fut.result()
+            results[futures[fut]] = res
+            done += 1
+            if progress is not None:
+                progress(done, total, res)
+    return results  # type: ignore[return-value]
 
 
 def aggregate(results: Sequence[RunResult], metric: str) -> Dict[str, float]:
     """Mean / std / standard-error summary of one metric over runs."""
-    vals = np.asarray([getattr(r, metric) for r in results], dtype=float)
-    if vals.size == 0:
+    if len(results) == 0:
         raise ValueError("no results to aggregate")
+    if not hasattr(results[0], metric):
+        known = ", ".join(sorted(RunResult.__dataclass_fields__))
+        raise ValueError(f"unknown metric {metric!r}; expected one of: {known}")
+    vals = np.asarray([getattr(r, metric) for r in results], dtype=float)
+    std = float(vals.std(ddof=1)) if vals.size > 1 else 0.0
     return {
         "mean": float(vals.mean()),
-        "std": float(vals.std(ddof=1)) if vals.size > 1 else 0.0,
-        "sem": float(vals.std(ddof=1) / np.sqrt(vals.size)) if vals.size > 1 else 0.0,
+        "std": std,
+        "sem": std / float(np.sqrt(vals.size)) if vals.size > 1 else 0.0,
         "n": int(vals.size),
     }

@@ -69,11 +69,23 @@ class CsmaMac(Mac):
         self._retry_count = 0
         self._cw = self.params.cw_min
         self._awaiting_ack_uid: Optional[int] = None
+        self._rng_gen = None
+        self._radio = None  # this node's Radio, resolved on first access
 
     # ------------------------------------------------------------------ #
     def _rng(self):
-        assert self.sim is not None and self.node is not None
-        return self.sim.rng.stream("mac", self.node.node_id)
+        gen = self._rng_gen
+        if gen is None:
+            assert self.sim is not None and self.node is not None
+            gen = self._rng_gen = self.sim.rng.stream("mac", self.node.node_id)
+        return gen
+
+    def _my_radio(self):
+        radio = self._radio
+        if radio is None:
+            assert self.channel is not None and self.node is not None
+            radio = self._radio = self.channel.radios[self.node.node_id]
+        return radio
 
     # ------------------------------------------------------------------ #
     # access procedure
@@ -85,43 +97,51 @@ class CsmaMac(Mac):
 
     def _attempt(self, attempts_left: int, with_backoff: bool) -> None:
         """One access attempt: wait for idle medium, DIFS, optional backoff."""
-        assert self.sim is not None and self.channel is not None and self.node is not None
         p = self.params
         if attempts_left <= 0:
             # Pathological congestion: drop the head frame rather than loop.
             self.dropped_overflow += 1
             self._finish_head()
             return
-        me = self.node.node_id
-        if self.channel.medium_busy(me):
+        sim = self.sim
+        radio = self._radio
+        if radio is None:
+            radio = self._my_radio()
+        if radio.medium_busy(sim.now):
             self.deferrals += 1
-            wait = max(self.channel.busy_until(me) - self.sim.now, p.slot_time)
+            wait = max(radio.busy_until(sim.now) - sim.now, p.slot_time)
             # After a busy medium we must back off (802.11 rule 2).
-            self.sim.schedule(wait, self._attempt, attempts_left - 1, True)
+            sim.schedule_fire(wait, self._attempt, attempts_left - 1, True)
             return
         backoff = 0.0
         if with_backoff:
             slots = int(self._rng().integers(0, self._cw + 1))
             backoff = slots * p.slot_time
-        self.sim.schedule(p.difs + backoff, self._final_check, attempts_left - 1)
+        sim.schedule_fire(p.difs + backoff, self._final_check, attempts_left - 1)
 
     def _final_check(self, attempts_left: int) -> None:
         """Re-sense at the end of DIFS+backoff; transmit if still idle."""
-        assert self.channel is not None and self.node is not None and self.sim is not None
-        if self.channel.medium_busy(self.node.node_id):
+        sim = self.sim
+        radio = self._radio
+        if radio is None:
+            radio = self._my_radio()
+        if radio.medium_busy(sim.now):
             self.deferrals += 1
             self._attempt(attempts_left, with_backoff=True)
             return
         head = self.queue[0]
         airtime = self._transmit_current()
         if head.dst == BROADCAST:
-            self.sim.schedule(airtime, self._finish_head)
+            sim.schedule_fire(airtime, self._finish_head)
         else:
             self._awaiting_ack_uid = head.uid
             p = self.params
+            # NOTE: allocated per attempt on purpose — the throwaway frame
+            # consumes a packet uid, and the uid sequence is part of the
+            # deterministic trace fingerprint
             ack_airtime = AckFrame(src=self.node.node_id).size_bits() / self.channel.bitrate_bps
             timeout = airtime + p.sifs + ack_airtime + p.ack_timeout_slack
-            self.sim.schedule(timeout, self._ack_timeout, head.uid)
+            sim.schedule_fire(timeout, self._ack_timeout, head.uid)
 
     # ------------------------------------------------------------------ #
     # unicast ARQ
@@ -141,7 +161,6 @@ class CsmaMac(Mac):
         self._attempt(attempts_left=p.max_attempts, with_backoff=True)
 
     def on_frame(self, packet: Packet) -> bool:
-        assert self.node is not None and self.sim is not None and self.channel is not None
         me = self.node.node_id
         if isinstance(packet, AckFrame):
             if packet.dst == me and self._awaiting_ack_uid == packet.acked_uid:
@@ -153,5 +172,5 @@ class CsmaMac(Mac):
             ack = AckFrame(src=me, dst=packet.src, acked_uid=packet.uid)
             self.acks_sent += 1
             # ACKs bypass the queue and carrier sensing (SIFS priority).
-            self.sim.schedule(self.params.sifs, self.channel.transmit, me, ack)
+            self.sim.schedule_fire(self.params.sifs, self.channel.transmit, me, ack)
         return False

@@ -114,13 +114,14 @@ def collect_metrics(
         for a in agents
         if a.node_id in r and any(st.covered for st in a.sessions.values())
     )
-    # construction latency: first JoinQuery TX -> last coverage mark
-    t_start = None
+    # construction latency: first JoinQuery TX -> last coverage mark.
+    # Both lookups ride the recorder's (kind, packet_type) indexes instead
+    # of scanning the full record list.
+    first_jq = next(trace.filter(TraceKind.TX, "JoinQuery"), None)
+    t_start = first_jq.time if first_jq is not None else None
     t_covered = None
-    for rec in trace.records:
-        if t_start is None and rec.kind is TraceKind.TX and rec.packet_type == "JoinQuery":
-            t_start = rec.time
-        if rec.kind is TraceKind.MARK and rec.packet_type == "Covered" and rec.node in r:
+    for rec in trace.filter(TraceKind.MARK, "Covered"):
+        if rec.node in r:
             t_covered = rec.time
     latency = (t_covered - t_start) if (t_start is not None and t_covered is not None) else 0.0
     delivered = len(trace.nodes_with(TraceKind.DELIVER) & r)

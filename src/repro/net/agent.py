@@ -6,6 +6,7 @@ modules can import it without cycles.
 
 from __future__ import annotations
 
+from functools import cached_property
 from typing import TYPE_CHECKING, Optional, Tuple, Type
 
 from repro.net.packet import Packet
@@ -35,22 +36,29 @@ class Agent:
     # -- wiring -------------------------------------------------------- #
     def attach(self, node: "Node") -> None:
         self.node = node
+        # drop any memoized accessors from a previous attachment
+        self.__dict__.pop("sim", None)
+        self.__dict__.pop("network", None)
+        self.__dict__.pop("node_id", None)
 
     def start(self) -> None:
         """Called once after the network is fully assembled."""
 
     # -- convenience accessors ------------------------------------------ #
-    @property
+    # cached_property: resolved once on first access (after the network is
+    # wired), then served from the instance dict — these sit on every hot
+    # protocol path, so the property-chain walk is paid only once.
+    @cached_property
     def sim(self):
         assert self.node is not None
         return self.node.network.sim
 
-    @property
+    @cached_property
     def network(self) -> "Network":
         assert self.node is not None
         return self.node.network
 
-    @property
+    @cached_property
     def node_id(self) -> int:
         assert self.node is not None
         return self.node.node_id

@@ -1,8 +1,12 @@
 """The shared wireless medium.
 
-The channel precomputes, for an entire deployment, the pairwise distances,
-received powers, reachability sets and propagation delays (vectorised —
-this is network construction's hot path).  At runtime it:
+The channel precomputes, for an entire deployment, the per-node neighbor
+sets with their propagation delays and received powers.  For deterministic
+propagation models (the paper's TwoRayGround) this uses a spatial-hash
+cell list — O(n·k) time and memory — so 1000–5000-node deployments are a
+supported workload; stochastic models (shadowing ablation) fall back to
+the dense all-pairs path so the fading draw keeps its ``(n, n)`` shape and
+runs stay bit-reproducible.  At runtime the channel:
 
 * delivers every transmission to every node within range after the
   line-of-sight propagation delay (broadcast nature of Sec. I);
@@ -19,6 +23,12 @@ this is network construction's hot path).  At runtime it:
 ``perfect=True`` disables collision bookkeeping (every in-range arrival
 succeeds); combined with :class:`repro.mac.ideal.IdealMac` this gives the
 deterministic medium used by unit tests and fast sweeps.
+
+Determinism: the sparse path computes candidate distances with the same
+elementwise operations and visits neighbors in the same ascending-id order
+as the dense path, so delivery schedules — and therefore trace digests —
+are bit-identical between the two (asserted by
+``tests/net/test_geometry.py`` and the golden-digest integration test).
 """
 
 from __future__ import annotations
@@ -27,9 +37,15 @@ from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
+from repro.net.geometry import SpatialHash, pair_distances
 from repro.net.loss import LossModel
 from repro.phy.energy import EnergyModel
-from repro.phy.propagation import PropagationModel, TwoRayGround, range_to_threshold
+from repro.phy.propagation import (
+    SPEED_OF_LIGHT,
+    PropagationModel,
+    TwoRayGround,
+    range_to_threshold,
+)
 from repro.phy.radio import Radio, Reception
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceKind
@@ -39,6 +55,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.packet import Packet
 
 __all__ = ["Channel"]
+
+#: Above this fraction of moved nodes, ``update_positions`` rebuilds the
+#: whole sparse index instead of patching affected rows (waypoint mobility
+#: moves nearly everyone per tick, where incremental would only add cost).
+_FULL_REBUILD_FRACTION = 0.4
 
 
 class Channel:
@@ -67,6 +88,10 @@ class Channel:
         directed link (i.i.d. or Gilbert–Elliott bursts).  A lost frame
         still occupies the receiver's radio for its airtime — it arrives
         garbled — so carrier sense and collisions are unaffected.
+    sparse:
+        Force the geometry backend: True for the spatial-hash cell list,
+        False for dense ``(n, n)`` matrices.  Default (None) picks sparse
+        whenever ``propagation.is_deterministic``.
     """
 
     def __init__(
@@ -81,6 +106,7 @@ class Channel:
         perfect: bool = False,
         capture_threshold_db: float = 10.0,
         loss: Optional[LossModel] = None,
+        sparse: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.positions = np.asarray(positions, dtype=float)
@@ -96,10 +122,40 @@ class Channel:
         self.loss = loss
         self.rx_threshold = range_to_threshold(self.propagation, self.tx_power, self.comm_range)
 
+        self._sparse = bool(
+            self.propagation.is_deterministic if sparse is None else sparse
+        )
+        # Candidate radius for the cell list: the model's true maximum
+        # range, padded by a relative epsilon so a node at *exactly* the
+        # nominal range survives the threshold->range float round-trip.
+        # Reachability itself is still decided by rx_power >= rx_threshold,
+        # identically to the dense path.
+        self._cell_size = (
+            self.propagation.max_range(self.tx_power, self.rx_threshold)
+            * (1.0 + 1e-9)
+        )
+        self._grid: Optional[SpatialHash] = None
+        # Dense matrices are computed lazily on the sparse path (kept for
+        # API compatibility / diagnostics); eagerly on the dense path.
+        self._distances: Optional[np.ndarray] = None
+        self._rx_power: Optional[np.ndarray] = None
+        self._prop_delays: Optional[np.ndarray] = None
+
         self._recompute_geometry()
 
         self.radios = [Radio(i, capture_threshold_db=capture_threshold_db) for i in range(self.n)]
         self._nodes: List["Node"] = []
+
+        # per-frame-size energy memos (pure functions of the bit count, so
+        # caching is bit-identical; sizes are per-packet-class constants)
+        self._tx_energy_cache: dict = {}
+        self._rx_energy_cache: dict = {}
+
+        # bound fast path to the kernel queue for the two highest-volume
+        # events (frame completion, TX end) — same ordering semantics as
+        # sim.schedule_fire, minus one call frame per event
+        self._push_fire = sim._queue.push_fire
+        self._emit = sim.trace.emit
 
         # counters useful for profiling and tests
         self.frames_sent = 0
@@ -110,19 +166,70 @@ class Channel:
         #: frames a dead/sleeping sender's MAC tried to put on the air
         self.frames_suppressed = 0
 
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
     def _recompute_geometry(self) -> None:
-        """Vectorised geometry precomputation (also used by mobility).
+        """Rebuild the neighbor index from ``self.positions``."""
+        n = self.n
+        #: per-node delivery fast path: ``[(nbr, delay, rx_power), ...]``,
+        #: built lazily per sender on first transmit
+        self._delivery: List[Optional[list]] = [None] * n
+        if self._sparse:
+            self._distances = self._rx_power = self._prop_delays = None
+            self._grid = SpatialHash(self.positions, self._cell_size)
+            self._neighbor_ids: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+            self._nbr_delays: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+            self._nbr_powers: List[np.ndarray] = [None] * n  # type: ignore[list-item]
+            # Rows materialise lazily (one vectorised batch on first
+            # neighbor access), so constructing a Channel is O(n).
+            self._rows_ready = False
+        else:
+            self._recompute_dense()
+            self._rows_ready = True
 
-        Reachability is power-based: ``rx_power >= rx_threshold``.  For
-        the paper's deterministic TwoRayGround this is exactly the
-        ``distance <= comm_range`` disk; for fading models (the shadowing
-        ablation) links fluctuate around the nominal range.  Link gains
-        are symmetrised (shadowing is a property of the path, not the
-        direction).
+    def _ensure_rows(self) -> None:
+        """Materialise every sparse neighbor row (idempotent)."""
+        if not self._rows_ready:
+            self._rows_ready = True
+            self._rebuild_rows(np.arange(self.n, dtype=np.intp))
+
+    def _rebuild_rows(self, src: np.ndarray) -> None:
+        """Recompute neighbor lists for the (sorted) node ids in ``src``.
+
+        Reachability is power-based — ``rx_power >= rx_threshold`` — and
+        evaluated with the exact expression the dense path uses, so for
+        deterministic propagation the two backends agree bit-for-bit.
+        """
+        i, j, d = pair_distances(self._grid, src, self.positions)
+        with np.errstate(divide="ignore"):
+            rx = np.asarray(
+                self.propagation.receive_power(self.tx_power, np.maximum(d, 1e-9))
+            )
+        keep = rx >= self.rx_threshold
+        i, j, d, rx = i[keep], j[keep], d[keep], rx[keep]
+        delays = d / SPEED_OF_LIGHT
+        lo = np.searchsorted(i, src)
+        hi = np.searchsorted(i, src, side="right")
+        ids, nbr_delays, nbr_powers, delivery = (
+            self._neighbor_ids, self._nbr_delays, self._nbr_powers, self._delivery
+        )
+        for k, s in enumerate(src):
+            a, b = lo[k], hi[k]
+            ids[s] = j[a:b]
+            nbr_delays[s] = delays[a:b]
+            nbr_powers[s] = rx[a:b]
+            delivery[s] = None
+
+    def _recompute_dense(self) -> None:
+        """Dense all-pairs geometry (stochastic propagation fallback).
+
+        Link gains are symmetrised (shadowing is a property of the path,
+        not the direction) by mirroring the upper triangle.
         """
         diff = self.positions[:, None, :] - self.positions[None, :, :]
-        self.distances = np.sqrt((diff**2).sum(axis=2))
-        d = self.distances.copy()
+        self._distances = np.sqrt((diff**2).sum(axis=2))
+        d = self._distances.copy()
         np.fill_diagonal(d, np.inf)
         with np.errstate(divide="ignore"):
             rx = np.asarray(
@@ -130,14 +237,65 @@ class Channel:
             )
         iu = np.triu_indices(self.n, k=1)
         rx[(iu[1], iu[0])] = rx[iu]  # mirror the upper triangle
-        self.rx_power = rx
+        self._rx_power = rx
         reach = rx >= self.rx_threshold
         np.fill_diagonal(reach, False)
-        self.neighbor_ids: List[np.ndarray] = [np.flatnonzero(reach[i]) for i in range(self.n)]
-        self.prop_delays = self.distances / 299_792_458.0
+        self._neighbor_ids = [np.flatnonzero(reach[i]) for i in range(self.n)]
+        self._prop_delays = self._distances / SPEED_OF_LIGHT
+
+    @property
+    def neighbor_ids(self) -> List[np.ndarray]:
+        """Per-node neighbor id arrays (materialises sparse rows lazily)."""
+        if not self._rows_ready:
+            self._ensure_rows()
+        return self._neighbor_ids
+
+    def _compute_dense_matrices(self) -> None:
+        """Materialise the dense matrices on demand (sparse path only).
+
+        Diagnostics occasionally want the full ``(n, n)`` view; runtime
+        delivery never touches these on the sparse path.
+        """
+        diff = self.positions[:, None, :] - self.positions[None, :, :]
+        self._distances = np.sqrt((diff**2).sum(axis=2))
+        d = self._distances.copy()
+        np.fill_diagonal(d, np.inf)
+        with np.errstate(divide="ignore"):
+            self._rx_power = np.asarray(
+                self.propagation.receive_power(self.tx_power, np.maximum(d, 1e-9))
+            )
+        self._prop_delays = self._distances / SPEED_OF_LIGHT
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Dense pairwise distance matrix (lazy on the sparse path)."""
+        if self._distances is None:
+            self._compute_dense_matrices()
+        return self._distances
+
+    @property
+    def rx_power(self) -> np.ndarray:
+        """Dense received-power matrix (lazy on the sparse path)."""
+        if self._rx_power is None:
+            self._compute_dense_matrices()
+        return self._rx_power
+
+    @property
+    def prop_delays(self) -> np.ndarray:
+        """Dense propagation-delay matrix (lazy on the sparse path)."""
+        if self._prop_delays is None:
+            self._compute_dense_matrices()
+        return self._prop_delays
 
     def update_positions(self, positions: np.ndarray) -> None:
         """Move the nodes and re-derive reachability (mobility extension).
+
+        On the sparse path this is incremental: only rows whose geometry
+        could have changed — the moved nodes plus everyone in the 3×3 cell
+        blocks around their old and new cells — are recomputed.  Above
+        ``_FULL_REBUILD_FRACTION`` moved nodes the whole index is rebuilt,
+        which is cheaper when (as under waypoint mobility) nearly every
+        node moves per tick.
 
         Frames already in flight keep the delivery schedule computed at
         transmit time — physically, a frame reaches whoever was in range
@@ -146,8 +304,28 @@ class Channel:
         pos = np.asarray(positions, dtype=float)
         if pos.shape != self.positions.shape:
             raise ValueError(f"expected shape {self.positions.shape}, got {pos.shape}")
+        if not self._sparse:
+            self.positions = pos.copy()
+            self._recompute_geometry()
+            return
+        moved = np.flatnonzero((pos != self.positions).any(axis=1))
+        if moved.size == 0:
+            self.positions = pos.copy()
+            return
+        if moved.size > _FULL_REBUILD_FRACTION * self.n or not self._rows_ready:
+            # Nothing materialised yet (or nearly everyone moved): a fresh
+            # lazy index is cheaper than patching rows.
+            self.positions = pos.copy()
+            self._recompute_geometry()
+            return
+        old_grid = self._grid
+        affected_old = old_grid.block_members(moved)
         self.positions = pos.copy()
-        self._recompute_geometry()
+        self._grid = SpatialHash(self.positions, self._cell_size)
+        affected_new = self._grid.block_members(moved)
+        affected = np.unique(np.concatenate([moved, affected_old, affected_new]))
+        self._distances = self._rx_power = self._prop_delays = None
+        self._rebuild_rows(affected)
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -157,6 +335,9 @@ class Channel:
         if len(nodes) != self.n:
             raise ValueError(f"expected {self.n} nodes, got {len(nodes)}")
         self._nodes = nodes
+        # delivery lists embed per-neighbor node references; drop any built
+        # before the nodes were bound
+        self._delivery = [None] * self.n
 
     def neighbors(self, node_id: int) -> np.ndarray:
         """Ids of nodes within communication range of ``node_id``."""
@@ -180,78 +361,145 @@ class Channel:
     # ------------------------------------------------------------------ #
     # transmission
     # ------------------------------------------------------------------ #
+    def _delivery_list(self, node_id: int) -> list:
+        """``[(nbr, delay, rx_power, radio, node), ...]`` per sender, cached.
+
+        Everything is converted to native python scalars here, once per
+        sender: ``tolist()``/``float()`` preserve the IEEE-754 bits
+        exactly, and native floats keep numpy scalar overhead out of the
+        event heap (every heap comparison would otherwise go through
+        ``np.float64`` dunders) and out of all downstream clock math.
+        The receiving radio (and node, when bound) ride along so the
+        per-frame reception path never indexes the registries.
+        """
+        nodes = self._nodes
+        radios = self.radios
+        if self._sparse:
+            if not self._rows_ready:
+                self._ensure_rows()
+            triples = zip(
+                self._neighbor_ids[node_id].tolist(),
+                self._nbr_delays[node_id].tolist(),
+                self._nbr_powers[node_id].tolist(),
+            )
+        else:
+            pd, rx = self._prop_delays, self._rx_power
+            triples = (
+                (int(nbr), float(pd[node_id, nbr]), float(rx[node_id, nbr]))
+                for nbr in self.neighbor_ids[node_id]
+            )
+        if nodes:
+            dl = [(n, d, p, radios[n], nodes[n]) for n, d, p in triples]
+        else:
+            dl = [(n, d, p, radios[n], None) for n, d, p in triples]
+        self._delivery[node_id] = dl
+        return dl
+
     def transmit(self, node_id: int, packet: "Packet") -> None:
         """Broadcast ``packet`` from ``node_id`` to everyone in range.
 
         Called by MAC layers only; protocols go through
         :meth:`repro.net.node.Node.send`.
         """
-        now = self.sim.now
-        node = self._nodes[node_id] if self._nodes else None
-        if node is not None and not node.is_active:
+        sim = self.sim
+        now = sim.now
+        nodes = self._nodes
+        node = nodes[node_id] if nodes else None
+        if node is not None and (not node.alive or node.asleep):
             # The MAC's access timer can fire after the node crashed or
             # went to sleep mid-backoff; a dead radio emits nothing.
             self.frames_suppressed += 1
             return
-        duration = self.airtime(packet)
         bits = packet.size_bits()
+        duration = bits / self.bitrate_bps
         radio = self.radios[node_id]
         radio.begin_tx(now, duration)
-        self.sim.schedule(duration, radio.end_tx, now + duration, priority=-1)
+        end = now + duration
+        self._push_fire(end, radio.end_tx, (end,), -1)
 
         self.frames_sent += 1
-        self.sim.trace.emit(now, TraceKind.TX, node_id, packet.ptype, packet.uid)
+        self._emit(now, TraceKind.TX, node_id, packet.ptype, packet.uid)
         if node is not None:
-            node.energy.charge_tx(self.energy_model.tx_energy(bits))
+            e = self._tx_energy_cache.get(bits)
+            if e is None:
+                e = self._tx_energy_cache[bits] = self.energy_model.tx_energy(bits)
+            node.energy.charge_tx(e)
 
-        for nbr in self.neighbor_ids[node_id]:
-            delay = self.prop_delays[node_id, nbr]
-            lost = self.loss is not None and self.loss.frame_lost(node_id, int(nbr))
-            self.sim.schedule(
-                delay,
-                self._arrive,
-                int(nbr),
-                packet,
-                float(self.rx_power[node_id, nbr]),
-                duration,
-                lost,
-            )
+        delivery = self._delivery[node_id]
+        if delivery is None:
+            delivery = self._delivery_list(node_id)
+        arrive = self._arrive
+        loss = self.loss
+        if loss is None:
+            if nodes:
+                # Dead or sleeping neighbors would discard the frame in
+                # _finish anyway — skip their events entirely.
+                entries = [
+                    (delay, arrive, (radio, rnode, nbr, packet, power, duration, False))
+                    for nbr, delay, power, radio, rnode in delivery
+                    if rnode.alive and not rnode.asleep
+                ]
+            else:
+                entries = [
+                    (delay, arrive, (radio, rnode, nbr, packet, power, duration, False))
+                    for nbr, delay, power, radio, rnode in delivery
+                ]
+        else:
+            entries = [
+                (delay, arrive,
+                 (radio, rnode, nbr, packet, power, duration,
+                  loss.frame_lost(node_id, nbr)))
+                for nbr, delay, power, radio, rnode in delivery
+                if rnode is None or rnode.is_active
+            ]
+        sim.schedule_many(entries)
 
     # ------------------------------------------------------------------ #
     # reception pipeline
     # ------------------------------------------------------------------ #
     def _arrive(
-        self, nbr_id: int, packet: "Packet", power: float, duration: float,
-        lost: bool = False,
+        self, radio: Radio, node, nbr_id: int, packet: "Packet",
+        power: float, duration: float, lost: bool = False,
     ) -> None:
-        radio = self.radios[nbr_id]
-        rec = radio.begin_reception(packet, self.sim.now, duration, power)
+        now = self.sim.now
+        rec = radio.begin_reception(packet, now, duration, power)
         if lost:
             # The garbled signal still occupies the radio (carrier sense,
             # collision bookkeeping) but can never decode.
             rec.intact = False
-        self.sim.schedule(duration, self._finish, nbr_id, rec, lost, priority=1)
+        self._push_fire(now + duration, self._finish, (radio, node, nbr_id, rec, lost), 1)
 
-    def _finish(self, nbr_id: int, rec: Reception, lost: bool = False) -> None:
+    def _finish(self, radio: Radio, node, nbr_id: int, rec: Reception,
+                lost: bool = False) -> None:
         now = self.sim.now
-        radio = self.radios[nbr_id]
         ok = radio.finish_reception(rec, now)
         packet: "Packet" = rec.frame
-        node = self._nodes[nbr_id] if self._nodes else None
-        if node is not None and not node.is_active:
-            # A dead or sleeping radio neither spends RX energy nor hears
-            # the frame (the arrival was scheduled while it was still up).
-            return
+        # recycle: this finish event was the last reference holder
+        rec.frame = None
+        radio.free_pool.append(rec)
         if node is not None:
-            node.energy.charge_rx(self.energy_model.rx_energy(packet.size_bits()))
+            if not node.alive or node.asleep:
+                # A dead or sleeping radio neither spends RX energy nor
+                # hears the frame (the arrival was scheduled while it was
+                # still up).
+                return
+            bits = packet.size_bits()
+            e = self._rx_energy_cache.get(bits)
+            if e is None:
+                e = self._rx_energy_cache[bits] = self.energy_model.rx_energy(bits)
+            # inline EnergyAccount.charge_rx — once per surviving arrival
+            en = node.energy
+            en.rx_joules += e
+            if not en.depleted and en.tx_joules + en.rx_joules >= en.initial_joules:
+                en._check()
         if lost:
             self.frames_lost += 1
-            self.sim.trace.emit(now, TraceKind.DROP, nbr_id, packet.ptype, "loss")
+            self._emit(now, TraceKind.DROP, nbr_id, packet.ptype, "loss")
         elif ok or self.perfect:
             self.frames_delivered += 1
-            self.sim.trace.emit(now, TraceKind.RX, nbr_id, packet.ptype, packet.uid)
+            self._emit(now, TraceKind.RX, nbr_id, packet.ptype, packet.uid)
             if node is not None:
                 node.on_packet_received(packet)
         else:
             self.frames_collided += 1
-            self.sim.trace.emit(now, TraceKind.COLLISION, nbr_id, packet.ptype, packet.uid)
+            self._emit(now, TraceKind.COLLISION, nbr_id, packet.ptype, packet.uid)

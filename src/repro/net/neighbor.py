@@ -30,7 +30,7 @@ __all__ = ["NeighborEntry", "NeighborTable", "HelloAgent"]
 Session = Tuple[int, int, int]  # (source, group, seq)
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborEntry:
     """State kept about one one-hop neighbor."""
 
@@ -160,8 +160,20 @@ class NeighborTable:
         return out
 
     def relay_profit(self, group: int, session: Session) -> int:
-        """Definition 1: number of uncovered receiver neighbors."""
-        return len(self.uncovered_members(group, session))
+        """Definition 1: number of uncovered receiver neighbors.
+
+        Same semantics as ``len(uncovered_members(...))`` without building
+        the intermediate set — this runs once per JoinQuery arrival.
+        """
+        n = 0
+        for e in self._entries.values():
+            if (
+                group in e.groups
+                and session not in e.covered_sessions
+                and session not in e.forwarder_sessions
+            ):
+                n += 1
+        return n
 
 
 class HelloAgent(Agent):
@@ -197,7 +209,7 @@ class HelloAgent(Agent):
 
     def start(self) -> None:
         rng = self.sim.rng.stream("hello", self.node.node_id)
-        self.sim.schedule(float(rng.uniform(0.0, self.jitter)), self._tick)
+        self.sim.schedule_fire(float(rng.uniform(0.0, self.jitter)), self._tick)
 
     def _tick(self) -> None:
         # A dead or sleeping node beacons nothing, but the timer keeps
@@ -207,7 +219,7 @@ class HelloAgent(Agent):
             self.node.neighbor_table.purge(self.sim.now, self.expiry)
         rng = self.sim.rng.stream("hello", self.node.node_id)
         delay = self.period + float(rng.uniform(-self.jitter, self.jitter))
-        self.sim.schedule(max(delay, 1e-6), self._tick)
+        self.sim.schedule_fire(max(delay, 1e-6), self._tick)
 
     def broadcast_hello(self) -> None:
         """Send one HELLO now (also used for membership-change updates)."""

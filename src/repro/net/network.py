@@ -132,11 +132,13 @@ class Network:
         neighbor coordinates (geographic-multicast mode).
         """
         now = self.sim.now
-        for node in self.nodes:
-            for nbr in self.channel.neighbors(node.node_id):
-                nbr_node = self.nodes[int(nbr)]
-                node.neighbor_table.update_hello(
-                    int(nbr),
+        nodes = self.nodes
+        for node in nodes:
+            update = node.neighbor_table.update_hello
+            for nbr in self.channel.neighbors(node.node_id).tolist():
+                nbr_node = nodes[nbr]
+                update(
+                    nbr,
                     nbr_node.groups,
                     now,
                     position=nbr_node.position if with_positions else None,

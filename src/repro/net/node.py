@@ -46,6 +46,10 @@ class Node:
         self.asleep = False
         self._agents: List[Agent] = []
         self._dispatch: Dict[Type[Packet], List[Agent]] = {}
+        #: resolved handler chain per *concrete* packet class, filled on
+        #: first receipt (the isinstance scan runs once per type, not per
+        #: frame — the receive path is the simulation's hottest loop)
+        self._dispatch_cache: Dict[Type[Packet], Tuple[Agent, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # stack assembly
@@ -56,6 +60,7 @@ class Node:
         self._agents.append(agent)
         for pcls in agent.handled_packets:
             self._dispatch.setdefault(pcls, []).append(agent)
+        self._dispatch_cache.clear()
         return agent
 
     def agents_of(self, cls: type) -> List[Agent]:
@@ -91,9 +96,8 @@ class Node:
     # ------------------------------------------------------------------ #
     def send(self, packet: Packet) -> None:
         """Hand ``packet`` to the MAC for broadcast."""
-        if not self.is_active:
+        if not self.alive or self.asleep:
             return
-        assert self.mac is not None, "node not wired to a MAC"
         self.mac.send(packet)
 
     def on_packet_received(self, packet: Packet) -> None:
@@ -104,14 +108,25 @@ class Node:
         including frames unicast to *other* nodes, which models the
         promiscuous overhearing the protocols rely on.
         """
-        if not self.is_active:
+        if not self.alive or self.asleep:
             return
-        if self.mac is not None and self.mac.on_frame(packet):
+        mac = self.mac
+        if mac is not None and mac.on_frame(packet):
             return
-        for pcls, agents in self._dispatch.items():
-            if isinstance(packet, pcls):
-                for agent in agents:
-                    agent.on_packet(packet)
+        cls = packet.__class__
+        handlers = self._dispatch_cache.get(cls)
+        if handlers is None:
+            # Same match rule and call order as the original per-frame
+            # scan: declaration order over agents' handled classes.
+            handlers = tuple(
+                agent
+                for pcls, agents in self._dispatch.items()
+                if issubclass(cls, pcls)
+                for agent in agents
+            )
+            self._dispatch_cache[cls] = handlers
+        for agent in handlers:
+            agent.on_packet(packet)
 
     # ------------------------------------------------------------------ #
     # failure injection (route-recovery experiments, Sec. IV-D;

@@ -89,9 +89,22 @@ def pairwise_distances(positions: np.ndarray) -> np.ndarray:
     return np.sqrt((diff**2).sum(axis=2))
 
 
+#: Above this node count the connectivity helpers switch from the dense
+#: ``(n, n)`` matrix to the spatial-hash cell list.  Both backends apply
+#: the identical ``distance <= comm_range`` predicate to identically
+#: computed distances, so the answer — and hence the rng consumption of
+#: the resampling loop — is the same either way.
+_SPARSE_THRESHOLD = 512
+
+
 def neighbors_within_range(positions: np.ndarray, comm_range: float) -> List[np.ndarray]:
     """Per-node arrays of neighbor ids (distance <= range, excluding self)."""
-    d = pairwise_distances(positions)
+    pos = np.asarray(positions, dtype=float)
+    if len(pos) > _SPARSE_THRESHOLD:
+        from repro.net.geometry import sparse_neighbor_lists
+
+        return sparse_neighbor_lists(pos, comm_range)[0]
+    d = pairwise_distances(pos)
     n = d.shape[0]
     np.fill_diagonal(d, np.inf)
     mask = d <= comm_range
@@ -125,6 +138,21 @@ def is_connected_to_source(positions: np.ndarray, comm_range: float, source: int
     n = len(pos)
     if n == 1:
         return True
+    if n > _SPARSE_THRESHOLD:
+        # O(n·k) BFS over cell-list neighbor lists — the dense adjacency
+        # matrix alone would be n² bytes per resampling attempt.
+        from repro.net.geometry import sparse_neighbor_lists
+
+        ids, _ = sparse_neighbor_lists(pos, comm_range)
+        reached = np.zeros(n, dtype=bool)
+        reached[source] = True
+        frontier = np.array([source])
+        while frontier.size:
+            cand = np.unique(np.concatenate([ids[f] for f in frontier]))
+            nxt = cand[~reached[cand]]
+            reached[nxt] = True
+            frontier = nxt
+        return bool(reached.all())
     d = pairwise_distances(pos)
     np.fill_diagonal(d, np.inf)
     adj = d <= comm_range

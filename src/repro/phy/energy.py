@@ -58,11 +58,13 @@ class EnergyAccount:
 
     def charge_tx(self, joules: float) -> None:
         self.tx_joules += joules
-        self._check()
+        if not self.depleted and self.tx_joules + self.rx_joules >= self.initial_joules:
+            self._check()
 
     def charge_rx(self, joules: float) -> None:
         self.rx_joules += joules
-        self._check()
+        if not self.depleted and self.tx_joules + self.rx_joules >= self.initial_joules:
+            self._check()
 
     @property
     def consumed(self) -> float:

@@ -40,6 +40,19 @@ SPEED_OF_LIGHT = 299_792_458.0
 class PropagationModel:
     """Abstract propagation model: distance -> received power."""
 
+    @property
+    def is_deterministic(self) -> bool:
+        """True when received power is a pure (monotone) function of distance.
+
+        The channel's sparse spatial-hash geometry relies on this: it only
+        evaluates ``receive_power`` for candidate pairs inside the nominal
+        range, which is sound iff power decays deterministically with
+        distance.  Stochastic models (shadowing) must return False so the
+        channel falls back to the dense all-pairs path, keeping the random
+        draw shape — and therefore bit-reproducibility — unchanged.
+        """
+        return True
+
     def receive_power(self, tx_power: float, distance: ArrayLike) -> ArrayLike:
         """Received signal power at ``distance`` meters for ``tx_power`` watts."""
         raise NotImplementedError
@@ -153,6 +166,10 @@ class LogDistance(PropagationModel):
     path_loss_exponent: float = 3.0
     shadowing_sigma_db: float = 0.0
     rng: Optional[np.random.Generator] = None
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self.shadowing_sigma_db <= 0.0
 
     def receive_power(self, tx_power: float, distance: ArrayLike) -> ArrayLike:
         d = np.asarray(distance, dtype=float)

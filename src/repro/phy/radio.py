@@ -20,6 +20,7 @@ Collision semantics follow ns-2's 802.11 PHY (substitution S3): the radio
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, List, Optional
@@ -33,9 +34,16 @@ class RadioState(Enum):
     RX = "rx"
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class Reception:
-    """One in-flight signal arriving at a node."""
+    """One in-flight signal arriving at a node.
+
+    Slotted: one is allocated per frame arrival per in-range receiver —
+    the single most-instantiated object in a run.  Identity equality
+    (``eq=False``): the radio tracks these as live objects, so
+    ``receptions.remove(rec)`` must drop *that* reception, not a
+    field-equal twin — and identity compares keep the removal cheap.
+    """
 
     frame: Any
     start: float
@@ -45,7 +53,7 @@ class Reception:
     intact: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class Radio:
     """Transceiver state for one node."""
 
@@ -54,6 +62,10 @@ class Radio:
     state: RadioState = RadioState.IDLE
     tx_until: float = 0.0
     receptions: List[Reception] = field(default_factory=list)
+    #: retired Reception objects recycled by begin_reception — the channel
+    #: returns each one after its finish event, so the steady state
+    #: allocates no Reception at all
+    free_pool: List[Reception] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # transmit side
@@ -82,19 +94,34 @@ class Radio:
         Applies the first-frame-lock capture model (module docstring).  A
         node currently transmitting dooms the arrival immediately.
         """
-        rec = Reception(frame=frame, start=now, end=now + duration, power=power)
-        if self.is_transmitting(now):
+        pool = self.free_pool
+        if pool:
+            rec = pool.pop()
+            rec.frame = frame
+            rec.start = now
+            rec.end = now + duration
+            rec.power = power
+            rec.intact = True
+        else:
+            rec = Reception(frame=frame, start=now, end=now + duration, power=power)
+        if self.state is RadioState.TX and now < self.tx_until:
             rec.intact = False
-        locked = self._locked(now)
-        if locked is not None and rec.intact:
-            ratio_db = 10.0 * _log10(rec.power / locked.power)
-            if ratio_db <= -self.capture_threshold_db:
-                rec.intact = False  # we stay locked on the earlier frame
-            elif ratio_db >= self.capture_threshold_db:
-                locked.intact = False  # the newcomer captures the receiver
-            else:
-                locked.intact = False  # comparable powers: both garbled
-                rec.intact = False
+        else:
+            # inline _locked(): the first intact in-flight reception
+            locked = None
+            for r in self.receptions:
+                if r.end > now and r.intact:
+                    locked = r
+                    break
+            if locked is not None:
+                ratio_db = 10.0 * _log10(power / locked.power)
+                if ratio_db <= -self.capture_threshold_db:
+                    rec.intact = False  # we stay locked on the earlier frame
+                elif ratio_db >= self.capture_threshold_db:
+                    locked.intact = False  # the newcomer captures the receiver
+                else:
+                    locked.intact = False  # comparable powers: both garbled
+                    rec.intact = False
         self.receptions.append(rec)
         if self.state is RadioState.IDLE:
             self.state = RadioState.RX
@@ -102,20 +129,30 @@ class Radio:
 
     def finish_reception(self, rec: Reception, now: float) -> bool:
         """Remove ``rec`` from the in-flight set; True iff it survived."""
+        receptions = self.receptions
         try:
-            self.receptions.remove(rec)
+            receptions.remove(rec)
         except ValueError:  # pragma: no cover - defensive
             return False
-        if self.state is RadioState.RX and not self._live(now):
-            self.state = RadioState.IDLE
-        return rec.intact and not self.is_transmitting(now)
+        if self.state is RadioState.RX:
+            for r in receptions:
+                if r.end > now:
+                    break
+            else:
+                self.state = RadioState.IDLE
+        return rec.intact and not (self.state is RadioState.TX and now < self.tx_until)
 
     # ------------------------------------------------------------------ #
     # carrier sense
     # ------------------------------------------------------------------ #
     def medium_busy(self, now: float) -> bool:
         """True if this node senses the medium busy (own TX or any arrival)."""
-        return self.is_transmitting(now) or self._live(now)
+        if self.state is RadioState.TX and now < self.tx_until:
+            return True
+        for r in self.receptions:
+            if r.end > now:
+                return True
+        return False
 
     def busy_until(self, now: float) -> float:
         """Earliest time the medium could become free as sensed here."""
@@ -137,6 +174,4 @@ class Radio:
 
 
 def _log10(x: float) -> float:
-    import math
-
     return math.log10(x) if x > 0 else float("-inf")

@@ -42,7 +42,7 @@ __all__ = ["SessionState", "OnDemandMulticastAgent"]
 GroupKey = Tuple[int, int]  # (source, group)
 
 
-@dataclass
+@dataclass(slots=True)
 class SessionState:
     """One node's state for the current round of a multicast session."""
 
@@ -133,12 +133,16 @@ class OnDemandMulticastAgent(Agent):
             "data_forwarded": 0,
             "route_errors_sent": 0,
         }
+        self._rng_gen = None
 
     # ------------------------------------------------------------------ #
     # convenience
     # ------------------------------------------------------------------ #
     def _rng(self):
-        return self.sim.rng.stream("proto", self.node_id)
+        gen = self._rng_gen
+        if gen is None:
+            gen = self._rng_gen = self.sim.rng.stream("proto", self.node_id)
+        return gen
 
     def state_of(self, source: int, group: int) -> Optional[SessionState]:
         return self.sessions.get((source, group))
@@ -223,11 +227,10 @@ class OnDemandMulticastAgent(Agent):
     def _recv_join_query(self, jq: JoinQuery) -> None:
         key = (jq.source, jq.group)
         st = self.sessions.get(key)
+        sim = self.sim
         if st is not None and jq.seq <= st.seq:
             # duplicate of the current round, or stale round
-            self.sim.trace.emit(
-                self.sim.now, TraceKind.DROP, self.node_id, jq.ptype, "dup"
-            )
+            sim.trace.emit(sim.now, TraceKind.DROP, self.node_id, jq.ptype, "dup")
             return
         st = SessionState(
             source=jq.source,
@@ -246,7 +249,7 @@ class OnDemandMulticastAgent(Agent):
         if self.node.is_member(jq.group):
             self._receiver_on_query(jq, st)
         delay = self.query_forward_delay(jq, st)
-        self.sim.schedule(delay, self._forward_query, key, jq.seq)
+        sim.schedule_fire(delay, self._forward_query, key, jq.seq)
 
     def _forward_query(self, key: GroupKey, seq: int) -> None:
         st = self.sessions.get(key)
@@ -318,7 +321,7 @@ class OnDemandMulticastAgent(Agent):
             seq=st.seq,
         )
         self.stats["replies_forwarded"] += 1
-        self.sim.schedule(float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out)
+        self.sim.schedule_fire(float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out)
 
     def _originate_reply(self, st: SessionState) -> None:
         """Receiver: send our own JoinReply up the reverse path."""
@@ -336,29 +339,29 @@ class OnDemandMulticastAgent(Agent):
             seq=st.seq,
         )
         self.stats["replies_originated"] += 1
-        self.sim.schedule(float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out)
+        self.sim.schedule_fire(float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out)
 
     # ------------------------------------------------------------------ #
     # data path
     # ------------------------------------------------------------------ #
     def _recv_data(self, pkt: DataPacket) -> None:
         key = pkt.flow_key
+        sim = self.sim
         if key in self.data_seen:
-            self.sim.trace.emit(
-                self.sim.now, TraceKind.DROP, self.node_id, pkt.ptype, "dup"
-            )
+            sim.trace.emit(sim.now, TraceKind.DROP, self.node_id, pkt.ptype, "dup")
             return
         self.data_seen.add(key)
-        self.last_data_from[(pkt.source, pkt.group)] = pkt.src
+        skey = (pkt.source, pkt.group)
+        self.last_data_from[skey] = pkt.src
         if self.node.is_member(pkt.group) and key not in self.delivered:
             self.delivered.add(key)
-            self.sim.trace.emit(self.sim.now, TraceKind.DELIVER, self.node_id, pkt.ptype, key)
-        st = self.sessions.get((pkt.source, pkt.group))
-        soft = self._fg_until.get((pkt.source, pkt.group), float("-inf")) > self.sim.now
+            sim.trace.emit(sim.now, TraceKind.DELIVER, self.node_id, pkt.ptype, key)
+        st = self.sessions.get(skey)
+        soft = self._fg_until.get(skey, float("-inf")) > sim.now
         if (st is not None and st.is_forwarder) or soft:
             fwd = pkt.clone_for_forwarding(self.node_id)
             self.stats["data_forwarded"] += 1
-            self.sim.schedule(float(self._rng().uniform(0.0, self.data_jitter)), self.send, fwd)
+            sim.schedule_fire(float(self._rng().uniform(0.0, self.data_jitter)), self.send, fwd)
 
     # ------------------------------------------------------------------ #
     # route recovery (Sec. IV-D)
@@ -401,7 +404,7 @@ class OnDemandMulticastAgent(Agent):
             )
             return
         fwd = pkt.clone_for_forwarding(self.node_id)
-        self.sim.schedule(float(self._rng().uniform(0.0, self.query_jitter)), self.send, fwd)
+        self.sim.schedule_fire(float(self._rng().uniform(0.0, self.query_jitter)), self.send, fwd)
 
     def start_route_monitor(self, source: int, group: int, interval: float) -> None:
         """Receiver: periodically verify the serving forwarder is alive.

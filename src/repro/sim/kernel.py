@@ -15,7 +15,9 @@ so that a single object carries everything one Monte-Carlo run needs.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+import gc
+import heapq
+from typing import Any, Callable, Iterable, Optional, Tuple
 
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngRegistry
@@ -43,7 +45,9 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
         self._queue = EventQueue()
-        self._now = 0.0
+        #: current simulated time in seconds (read-only for callers; a
+        #: plain attribute because the hot paths read it once per event)
+        self.now = 0.0
         self._running = False
         self._stopped = False
         self.rng = RngRegistry(seed)
@@ -54,11 +58,6 @@ class Simulator:
     # ------------------------------------------------------------------ #
     # clock
     # ------------------------------------------------------------------ #
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
     @property
     def pending(self) -> int:
         """Number of live events still in the queue."""
@@ -77,7 +76,25 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self._queue.push(self._now + delay, fn, args, priority)
+        return self._queue.push(self.now + delay, fn, args, priority)
+
+    def schedule_fire(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``fn(*args)`` with no cancellation handle.
+
+        Identical ordering semantics to :meth:`schedule`, but nothing is
+        returned and no :class:`Event` is allocated — use it for the
+        high-volume events (frame arrivals, reception completions, MAC
+        timers) that are never cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._queue.push_fire(self.now + delay, fn, args, priority)
 
     def schedule_at(
         self,
@@ -87,9 +104,31 @@ class Simulator:
         priority: int = 0,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time`` (must not be in the past)."""
-        if time < self._now:
-            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
         return self._queue.push(time, fn, args, priority)
+
+    def schedule_many(
+        self,
+        items: Iterable[Tuple[float, Callable[..., Any], tuple]],
+        priority: int = 0,
+    ) -> None:
+        """Batch-schedule ``(delay, fn, args)`` items sharing one priority.
+
+        Semantically identical to calling :meth:`schedule` once per item —
+        same sequence-number assignment, hence identical tie-breaking — but
+        cheaper, and fire-and-forget: no :class:`Event` handles are
+        created for the caller, so none of these can be cancelled.  This is
+        the channel's fan-out fast path (one frame → many deliveries).
+        """
+        now = self.now
+        entries = []
+        append = entries.append
+        for delay, fn, args in items:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay!r}")
+            append((now + delay, fn, args))
+        self._queue.push_many(entries, priority)
 
     def cancel(self, ev: Event) -> None:
         """Cancel a pending event (no-op if already cancelled or fired)."""
@@ -107,8 +146,10 @@ class Simulator:
             If given, stop once the next event would fire after ``until``
             and advance the clock exactly to ``until``.
         max_events:
-            Safety valve for runaway simulations; raises
-            :class:`SimulationError` when exceeded.
+            Safety valve for runaway simulations.  At most ``max_events``
+            events execute in this call; attempting to execute one more
+            raises :class:`SimulationError` (the limit is exact — a run
+            whose queue drains at exactly ``max_events`` events succeeds).
 
         Returns
         -------
@@ -120,37 +161,72 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # Hot loop: operate on the queue's heap directly so each event
+        # costs one heappop and no intermediate method calls.  Cancelled
+        # entries were already discounted from the live count at
+        # cancellation time, so they are dropped without bookkeeping.
+        # Entries are either (t, prio, seq, Event, None) — cancellable —
+        # or (t, prio, seq, fn, args) fire-and-forget tuples.
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        unbounded = until is None and max_events is None
+        popped = 0
+        # Pause cyclic GC for the duration of the loop: the steady state
+        # allocates thousands of short-lived acyclic objects (heap entries,
+        # trace records, receptions) that refcounting frees on its own,
+        # while gen-0 collections triggered by that churn cost ~10% of the
+        # run.  Cyclic garbage (node/agent graphs) is produced per *run*,
+        # not per event, and is collected once GC resumes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while self._queue and not self._stopped:
-                t = self._queue.peek_time()
-                assert t is not None
-                if until is not None and t > until:
-                    break
-                ev = self._queue.pop()
-                if ev.time < self._now:  # pragma: no cover - queue invariant
+            while heap and not self._stopped:
+                entry = heap[0]
+                args = entry[4]
+                if args is None:
+                    ev = entry[3]
+                    if ev.cancelled:
+                        heappop(heap)
+                        continue
+                    fn = ev.fn
+                    args = ev.args
+                else:
+                    fn = entry[3]
+                t = entry[0]
+                if not unbounded:
+                    if until is not None and t > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; runaway simulation?"
+                        )
+                heappop(heap)
+                popped += 1
+                if t < self.now:  # pragma: no cover - queue invariant
                     raise SimulationError("event queue produced a past event")
-                self._now = ev.time
-                fn, args = ev.fn, ev.args
-                assert fn is not None
+                self.now = t
                 fn(*args)
                 executed += 1
-                self.events_executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway simulation?"
-                    )
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
         finally:
+            # bookkeeping is batched out of the hot loop; reconcile even
+            # when a handler raised
+            queue._live -= popped
+            self.events_executed += executed
             self._running = False
-        return self._now
+            if gc_was_enabled:
+                gc.enable()
+        return self.now
 
     def step(self) -> bool:
         """Execute exactly one event.  Returns False if the queue was empty."""
         if not self._queue:
             return False
         ev = self._queue.pop()
-        self._now = ev.time
+        self.now = ev.time
         fn, args = ev.fn, ev.args
         assert fn is not None
         fn(*args)
@@ -168,5 +244,5 @@ class Simulator:
         :class:`Simulator` for an independent run.
         """
         self._queue.clear()
-        self._now = 0.0
+        self.now = 0.0
         self._stopped = False

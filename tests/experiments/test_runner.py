@@ -81,6 +81,62 @@ class TestMonteCarlo:
         assert serial == parallel
 
 
+class TestRunManyStreaming:
+    def test_progress_fires_per_completion_in_order(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        seen = []
+        results = run_many(
+            monte_carlo(cfg, 3, batch_seed=4),
+            progress=lambda done, total, r: seen.append((done, total, r.seed)),
+        )
+        assert [d for d, _t, _s in seen] == [1, 2, 3]
+        assert all(t == 3 for _d, t, _s in seen)
+        assert [s for _d, _t, s in seen] == [r.seed for r in results]
+
+    def test_parallel_results_keep_config_order(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        cfgs = monte_carlo(cfg, 4, batch_seed=3)
+        results = run_many(cfgs, workers=2)
+        assert [r.seed for r in results] == [c.seed for c in cfgs]
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cfg = SimulationConfig(protocol="mtmrp", seed=6, **FAST)
+        cold = run_single(cfg, cache=tmp_path)
+        cached_files = list(tmp_path.glob("*.json"))
+        assert len(cached_files) == 1
+        warm = run_single(cfg, cache=tmp_path)
+        assert warm == cold
+
+    def test_cache_hit_skips_execution(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        cfg = SimulationConfig(protocol="mtmrp", seed=6, **FAST)
+        run_single(cfg, cache=tmp_path)
+
+        def boom(*a, **k):  # a second run must come from disk
+            raise AssertionError("cache miss: _execute_run was called")
+
+        monkeypatch.setattr(runner_mod, "_execute_run", boom)
+        assert run_single(cfg, cache=tmp_path) is not None
+
+    def test_different_configs_do_not_collide(self, tmp_path):
+        a = run_single(SimulationConfig(protocol="mtmrp", seed=6, **FAST), cache=tmp_path)
+        b = run_single(SimulationConfig(protocol="mtmrp", seed=7, **FAST), cache=tmp_path)
+        assert a != b
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_trace_requests_bypass_the_cache(self, tmp_path):
+        from repro.sim.trace import TraceRecorder
+
+        cfg = SimulationConfig(protocol="mtmrp", seed=6, **FAST)
+        run_single(cfg, cache=tmp_path)
+        tr = TraceRecorder()
+        run_single(cfg, cache=tmp_path, trace=tr)
+        assert len(tr) > 0  # a cache hit could never fill the recorder
+
+
 class TestAggregate:
     def test_mean_std_sem(self):
         cfg = SimulationConfig(protocol="odmrp", **FAST)
@@ -94,3 +150,15 @@ class TestAggregate:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             aggregate([], "data_transmissions")
+
+    def test_unknown_metric_names_the_alternatives(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        results = run_many(monte_carlo(cfg, 2, batch_seed=2))
+        with pytest.raises(ValueError, match="delivery_ratio"):
+            aggregate(results, "no_such_metric")
+
+    def test_single_run_has_zero_spread(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        results = run_many(monte_carlo(cfg, 1, batch_seed=2))
+        agg = aggregate(results, "data_transmissions")
+        assert agg["std"] == 0.0 == agg["sem"]

@@ -1,0 +1,62 @@
+"""Golden trace-digest regression tests.
+
+The fast-path overhaul (sparse geometry, fire-and-forget events, rng
+stream pooling, reception recycling, GC pausing) is allowed to change
+*how fast* a run executes, never *what* it computes.  These digests pin
+two full end-to-end runs — one per protocol family and topology — to the
+exact traces the pre-optimisation tree produced.  If any "optimisation"
+perturbs event ordering, rng consumption, or packet-uid assignment, the
+sha256 changes and this test names the contract that was broken.
+
+Regenerate a constant only for a change that *intentionally* alters run
+semantics (and say so in the commit):
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.net.packet import reset_uids
+    from repro.experiments import SimulationConfig, run_single
+    from repro.sim.trace import TraceRecorder, trace_digest
+    reset_uids()
+    tr = TraceRecorder()
+    run_single(SimulationConfig("mtmrp", "grid", group_size=12, seed=42),
+               trace=tr, cache=False)
+    print(trace_digest(tr))
+    EOF
+"""
+
+import pytest
+
+from repro.experiments import SimulationConfig, run_single
+from repro.net.packet import reset_uids
+from repro.sim.trace import TraceRecorder, trace_digest
+
+#: (protocol, topology, seed) -> expected sha256 of the full trace
+GOLDEN = {
+    ("mtmrp", "grid", 42): (
+        "c7771219e674bdf74bec5a0e1de78208f85de6aa3fdd7501d5e642cb510211b3"
+    ),
+    ("odmrp", "random", 99): (
+        "7c3740d9d89e63ff675dcfc419fe42dfe7904b249088204aa0c0f043f50e1d0a"
+    ),
+}
+
+
+def _digest(protocol: str, topology: str, seed: int) -> str:
+    reset_uids()  # packet uids appear in trace details; start from 0
+    tr = TraceRecorder()
+    run_single(
+        SimulationConfig(protocol, topology, group_size=12, seed=seed),
+        trace=tr,
+        cache=False,
+    )
+    return trace_digest(tr)
+
+
+@pytest.mark.parametrize("protocol,topology,seed", sorted(GOLDEN))
+def test_golden_digest(protocol, topology, seed):
+    assert _digest(protocol, topology, seed) == GOLDEN[(protocol, topology, seed)]
+
+
+def test_digest_is_reproducible_within_process():
+    """Two back-to-back runs hash identically (no hidden global state)."""
+    key = ("mtmrp", "grid", 42)
+    assert _digest(*key) == _digest(*key) == GOLDEN[key]

@@ -1,0 +1,107 @@
+"""Sparse (spatial-hash) geometry backend vs. the dense reference.
+
+The sparse backend must be an *invisible* optimisation: for deterministic
+propagation it has to agree with the dense all-pairs matrices bit for
+bit — neighbor sets, propagation delays, receive powers — because the
+trace-digest determinism contract rides on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mac.ideal import IdealMac
+from repro.net.channel import Channel
+from repro.net.network import Network
+from repro.net.packet import DataPacket
+from repro.net.topology import random_topology
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceKind
+
+
+def _positions(n=120, seed=7):
+    return random_topology(n, rng=np.random.default_rng(seed), comm_range=40.0)
+
+
+def _pair():
+    pos = _positions()
+    sparse = Channel(Simulator(seed=1), pos, comm_range=40.0, sparse=True)
+    dense = Channel(Simulator(seed=1), pos, comm_range=40.0, sparse=False)
+    return sparse, dense
+
+
+def test_sparse_matches_dense_neighbor_sets():
+    sparse, dense = _pair()
+    for i in range(sparse.n):
+        assert sparse.neighbors(i).tolist() == sorted(dense.neighbors(i).tolist()), i
+
+
+def test_sparse_matches_dense_delays_and_powers():
+    sparse, dense = _pair()
+    for i in range(sparse.n):
+        nbrs = sparse.neighbors(i)
+        # exact equality, not approx: both paths must evaluate the same
+        # float expressions on the same operands
+        assert np.array_equal(sparse._nbr_delays[i], dense.prop_delays[i][nbrs])
+        assert np.array_equal(sparse._nbr_powers[i], dense.rx_power[i][nbrs])
+
+
+def test_default_backend_is_sparse_for_deterministic_propagation():
+    ch = Channel(Simulator(seed=1), _positions(), comm_range=40.0)
+    assert ch._sparse
+
+
+def test_rows_materialise_lazily():
+    ch = Channel(Simulator(seed=1), _positions(50), comm_range=40.0, sparse=True)
+    assert not ch._rows_ready  # construction did not pay for the rows
+    ch.neighbors(0)
+    assert ch._rows_ready  # first access materialised them
+
+
+def test_boundary_node_at_exact_range_is_neighbor():
+    pos = np.array([[0.0, 0.0], [40.0, 0.0], [40.0 + 1e-6, 0.0]])
+    ch = Channel(Simulator(seed=1), pos, comm_range=40.0, sparse=True)
+    assert ch.neighbors(0).tolist() == [1]
+
+
+def test_incremental_update_positions_matches_full_rebuild():
+    pos = _positions(80)
+    moving = Channel(Simulator(seed=1), pos.copy(), comm_range=40.0, sparse=True)
+    moving.neighbors(0)  # materialise, so the update path goes incremental
+    rng = np.random.default_rng(11)
+    for _ in range(3):  # several waypoints: stale-cell bookkeeping must hold up
+        # move a small subset so the *incremental* path (not the
+        # full-rebuild fallback) is the one under test
+        idx = rng.choice(len(pos), size=5, replace=False)
+        pos[idx] += rng.uniform(-35.0, 35.0, size=(5, 2))
+        moving.update_positions(pos.copy())
+    rebuilt = Channel(Simulator(seed=1), pos.copy(), comm_range=40.0, sparse=True)
+    for i in range(moving.n):
+        assert moving.neighbors(i).tolist() == rebuilt.neighbors(i).tolist(), i
+        assert np.array_equal(moving._nbr_delays[i], rebuilt._nbr_delays[i])
+        assert np.array_equal(moving._nbr_powers[i], rebuilt._nbr_powers[i])
+
+
+def test_update_positions_before_materialisation():
+    pos = _positions(60)
+    ch = Channel(Simulator(seed=1), pos.copy(), comm_range=40.0, sparse=True)
+    pos2 = pos + 5.0
+    ch.update_positions(pos2.copy())  # rows still lazy here
+    ref = Channel(Simulator(seed=1), pos2.copy(), comm_range=40.0, sparse=True)
+    for i in range(ch.n):
+        assert ch.neighbors(i).tolist() == ref.neighbors(i).tolist(), i
+
+
+def test_dead_and_sleeping_neighbors_get_no_delivery_events():
+    """transmit() skips inactive receivers instead of delivering-then-dropping."""
+    sim = Simulator(seed=1)
+    pos = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0], [30.0, 0.0]])
+    net = Network(sim, pos, comm_range=40.0, mac_factory=IdealMac,
+                  perfect_channel=True)
+    net.node(1).fail()
+    net.node(2).sleep()
+    before = sim.pending
+    net.channel.transmit(0, DataPacket(src=0))
+    # end_tx + exactly ONE arrival (node 3) — nothing queued for 1 and 2
+    assert sim.pending - before == 2
+    sim.run()
+    assert sim.trace.nodes_with(TraceKind.RX) == {3}

@@ -127,3 +127,53 @@ def test_live_count_matches_after_cancellations(items):
         q.pop()
         seen += 1
     assert seen == expected
+
+
+def test_push_fire_interleaves_with_push_by_seq():
+    """Fire-and-forget entries share the seq counter with cancellable
+    ones, so FIFO among equal times holds across both entry shapes."""
+    q = EventQueue()
+    order = []
+    q.push(1.0, order.append, ("cancellable-1",))
+    q.push_fire(1.0, order.append, ("fire-1",))
+    q.push(1.0, order.append, ("cancellable-2",))
+    q.push_fire(1.0, order.append, ("fire-2",))
+    assert len(q) == 4
+    while q:
+        ev = q.pop()
+        ev.fn(*ev.args)
+    assert order == ["cancellable-1", "fire-1", "cancellable-2", "fire-2"]
+
+
+def test_push_fire_counts_as_live_and_rejects_nan():
+    q = EventQueue()
+    q.push_fire(0.5, lambda: None)
+    assert len(q) == 1 and bool(q)
+    q.pop()
+    assert len(q) == 0
+    with pytest.raises(ValueError):
+        q.push_fire(float("nan"), lambda: None)
+
+
+def test_push_many_matches_per_item_push():
+    def drain(q):
+        out = []
+        while q:
+            ev = q.pop()
+            out.append((ev.time, ev.priority, ev.seq, ev.args))
+        return out
+
+    items = [(2.0, lambda: None, ("a",)), (1.0, lambda: None, ("b",)),
+             (2.0, lambda: None, ("c",))]
+    batched = EventQueue()
+    batched.push_many(items, priority=3)
+    single = EventQueue()
+    for t, fn, args in items:
+        single.push(t, fn, args, priority=3)
+    assert drain(batched) == drain(single)
+
+
+def test_push_many_rejects_nan_time():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push_many([(1.0, lambda: None, ()), (float("nan"), lambda: None, ())])

@@ -112,6 +112,60 @@ def test_max_events_guard(sim):
         sim.run(max_events=100)
 
 
+def test_max_events_limit_is_exact(sim):
+    """A queue that drains at exactly max_events succeeds (no off-by-one:
+    the guard fires on the max_events+1-th event, not the last allowed)."""
+    hits = []
+    for i in range(10):
+        sim.schedule(float(i), hits.append, i)
+    sim.run(max_events=10)
+    assert hits == list(range(10))
+    assert sim.events_executed == 10
+
+
+def test_max_events_raises_on_next_event_beyond_limit(sim):
+    hits = []
+    for i in range(11):
+        sim.schedule(float(i), hits.append, i)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=10)
+    assert hits == list(range(10))  # the allowed 10 did execute
+
+
+def test_schedule_fire_runs_in_order(sim):
+    hits = []
+    sim.schedule_fire(2.0, hits.append, "late")
+    sim.schedule_fire(1.0, hits.append, "early")
+    sim.schedule(1.0, hits.append, "early-cancellable")  # same time: FIFO by seq
+    with pytest.raises(SimulationError):
+        sim.schedule_fire(-0.1, lambda: None)
+    sim.run()
+    assert hits == ["early", "early-cancellable", "late"]
+    assert sim.events_executed == 3
+
+
+def test_schedule_many_matches_individual_schedules():
+    def drive(batch: bool):
+        sim = Simulator(seed=1)
+        hits = []
+        items = [(0.5, hits.append, ("a",)), (0.25, hits.append, ("b",)),
+                 (0.5, hits.append, ("c",))]
+        if batch:
+            sim.schedule_many(items)
+        else:
+            for delay, fn, args in items:
+                sim.schedule(delay, fn, *args)
+        sim.run()
+        return hits, sim.events_executed
+
+    assert drive(batch=True) == drive(batch=False) == (["b", "a", "c"], 3)
+
+
+def test_schedule_many_rejects_negative_delay(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule_many([(1.0, lambda: None, ()), (-0.5, lambda: None, ())])
+
+
 def test_reentrant_run_rejected(sim):
     def nested():
         sim.run()

@@ -1,5 +1,7 @@
 """Unit tests for the trace recorder."""
 
+import pytest
+
 from repro.sim.trace import TraceKind, TraceRecorder
 
 
@@ -60,3 +62,45 @@ def test_records_are_immutable():
     except AttributeError:
         mutated = False
     assert not mutated
+
+
+def test_counters_only_mode():
+    t = TraceRecorder(counters_only=True)
+    t.emit(0.0, TraceKind.TX, 1, "Data")
+    t.emit(0.5, TraceKind.TX, 2, "Data")
+    assert t.count(TraceKind.TX) == 2  # counters still work
+    assert len(t) == 0  # nothing stored
+    with pytest.raises(RuntimeError):
+        list(t.filter(kind=TraceKind.TX))
+    with pytest.raises(RuntimeError):
+        t.nodes_with(TraceKind.TX)
+
+
+def test_none_packet_type_not_yielded_twice():
+    """A MARK-style record (packet_type=None) collapses both index keys
+    into (kind, None) — it must still be indexed exactly once."""
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.MARK, 4, None, "note")
+    assert len(list(t.filter(kind=TraceKind.MARK))) == 1
+    assert t.nodes_with(TraceKind.MARK) == {4}
+
+
+def test_index_extends_after_later_emits():
+    """Queries build the index lazily; records emitted afterwards must
+    fold in on the next query, in emit order."""
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.TX, 1, "Data", "a")
+    assert t.nodes_with(TraceKind.TX, "Data") == {1}  # index built here
+    t.emit(1.0, TraceKind.TX, 2, "Data", "b")
+    t.emit(2.0, TraceKind.TX, 1, "Query", "c")
+    assert t.nodes_with(TraceKind.TX, "Data") == {1, 2}
+    assert [r.detail for r in t.filter(TraceKind.TX, "Data")] == ["a", "b"]
+    assert [r.detail for r in t.filter(TraceKind.TX)] == ["a", "b", "c"]
+
+
+def test_nodes_with_returns_a_copy():
+    t = TraceRecorder()
+    t.emit(0.0, TraceKind.TX, 1, "Data")
+    s = t.nodes_with(TraceKind.TX, "Data")
+    s.clear()  # metrics code mutates these sets freely
+    assert t.nodes_with(TraceKind.TX, "Data") == {1}
