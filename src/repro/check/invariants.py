@@ -1,0 +1,303 @@
+"""The invariant checkers: pure functions over simulator state.
+
+Each checker takes explicit inputs and returns a list of
+:class:`~repro.check.violations.Finding` records; the
+:class:`~repro.check.harness.CheckHarness` owns the incremental state
+(scan positions, previous-checkpoint snapshots) and the policy of what to
+do with a finding.  Keeping the checkers pure makes each one unit-testable
+against hand-built counter-examples without running a simulation.
+
+The invariants (names are the harness's selection keys):
+
+``trace-time-monotone``
+    Trace record timestamps never decrease (the kernel executes events in
+    timestamp order, and every record is stamped with ``sim.now``).
+``silent-when-down``
+    No TX record from a node inside a crash or sleep window.  Windows are
+    reconstructed from the injector's ``NOTE "Fault"`` records, which
+    appear in the same emit-ordered stream as the TX records.
+``deliver-membership``
+    DELIVER records only occur at declared receivers of the group — a
+    non-member application layer must never accept multicast payloads.
+``profit-nonnegative``
+    RelayProfit (Definition 1) and PathProfit (Definition 2) are counts;
+    a negative value means corrupted bookkeeping.
+``path-profit-sum``
+    A node's PathProfit equals its upstream's ``PP + RP`` for the same
+    round — i.e. PP is the sum of RelayProfits along the reverse path,
+    with the source's own RP excluded (the source originates its
+    JoinQuery with ``path_profit=0``), so a direct child of the source
+    carries PP == 0.
+``seq-monotone``
+    Per (node, source, group), the accepted round sequence number never
+    decreases between checkpoints (soft-state replacement requires
+    ``jq.seq > st.seq``).
+``energy-conserved``
+    Per-node tx/rx energy is non-negative and never decreases between
+    checkpoints; a depleted battery really is exhausted.
+``feasible-forwarding-set``
+    When delivery succeeded on a static deployment, the set of nodes
+    that transmitted data satisfies ``is_valid_transmitter_set`` for the
+    receivers that were actually served: it contains the source, its
+    induced subgraph is connected, and it covers every delivered
+    receiver (the paper's Sec. III feasibility predicate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.violations import Finding
+from repro.sim.trace import TraceKind, TraceRecord
+
+__all__ = [
+    "scan_trace",
+    "check_sessions",
+    "check_energy",
+    "check_feasible_forwarding",
+]
+
+#: packet types whose TX records count as data-plane transmissions
+DATA_PACKET_TYPES = ("DataPacket", "GeoDataPacket", "FloodPacket")
+
+
+def scan_trace(
+    records: Sequence[TraceRecord],
+    start: int,
+    last_time: float,
+    crashed: Set[int],
+    asleep: Set[int],
+    members: Optional[Set[int]],
+) -> Tuple[List[Finding], float]:
+    """One forward pass over ``records[start:]``.
+
+    Checks ``trace-time-monotone``, ``silent-when-down`` and
+    ``deliver-membership`` in a single scan, maintaining the caller's
+    down-state sets from the interleaved ``NOTE "Fault"`` records.
+    Returns the findings and the new high-water timestamp; the caller
+    advances its own scan position.
+    """
+    findings: List[Finding] = []
+    for pos in range(start, len(records)):
+        rec = records[pos]
+        if rec.time < last_time:
+            findings.append(
+                Finding(
+                    "trace-time-monotone",
+                    f"record #{pos} ({rec.kind.value}/{rec.packet_type}) at "
+                    f"t={rec.time} after a record at t={last_time}",
+                    time=rec.time,
+                    node=rec.node,
+                )
+            )
+        else:
+            last_time = rec.time
+        kind = rec.kind
+        if kind is TraceKind.NOTE and rec.packet_type == "Fault":
+            fault = rec.detail[0] if isinstance(rec.detail, tuple) else rec.detail
+            if fault == "crash":
+                crashed.add(rec.node)
+            elif fault == "recover":
+                crashed.discard(rec.node)
+            elif fault == "sleep":
+                asleep.add(rec.node)
+            elif fault == "wake":
+                asleep.discard(rec.node)
+        elif kind is TraceKind.TX:
+            if rec.node in crashed:
+                findings.append(
+                    Finding(
+                        "silent-when-down",
+                        f"node {rec.node} transmitted {rec.packet_type} while crashed",
+                        time=rec.time,
+                        node=rec.node,
+                    )
+                )
+            elif rec.node in asleep:
+                findings.append(
+                    Finding(
+                        "silent-when-down",
+                        f"node {rec.node} transmitted {rec.packet_type} while asleep",
+                        time=rec.time,
+                        node=rec.node,
+                    )
+                )
+        elif kind is TraceKind.DELIVER and members is not None:
+            if rec.node not in members:
+                findings.append(
+                    Finding(
+                        "deliver-membership",
+                        f"node {rec.node} (not a group member) delivered "
+                        f"{rec.packet_type} to its application",
+                        time=rec.time,
+                        node=rec.node,
+                    )
+                )
+    return findings, last_time
+
+
+def check_sessions(
+    agents: Sequence,
+    prev_seq: Dict[Tuple[int, int, int], int],
+) -> List[Finding]:
+    """``profit-nonnegative``, ``path-profit-sum`` and ``seq-monotone``.
+
+    Walks every agent's per-(source, group) :class:`SessionState`.
+    ``prev_seq`` maps (node, source, group) to the sequence number seen
+    at the previous checkpoint and is updated in place.  Agents without
+    ``sessions`` (flooding, GMR) are skipped — they carry no soft state.
+    """
+    findings: List[Finding] = []
+    for agent in agents:
+        sessions = getattr(agent, "sessions", None)
+        if not sessions:
+            continue
+        node_id = agent.node_id
+        for (source, group), st in sessions.items():
+            if st.relay_profit < 0 or st.path_profit < 0:
+                findings.append(
+                    Finding(
+                        "profit-nonnegative",
+                        f"node {node_id} session (src={source}, grp={group}, "
+                        f"seq={st.seq}) has RP={st.relay_profit}, PP={st.path_profit}",
+                        node=node_id,
+                    )
+                )
+            key = (node_id, source, group)
+            prev = prev_seq.get(key)
+            if prev is not None and st.seq < prev:
+                findings.append(
+                    Finding(
+                        "seq-monotone",
+                        f"node {node_id} session (src={source}, grp={group}) "
+                        f"went back from seq {prev} to {st.seq}",
+                        node=node_id,
+                    )
+                )
+            prev_seq[key] = st.seq
+            up_id = st.upstream
+            if up_id is None or node_id == source:
+                continue
+            if up_id == source:
+                # the source originates with path_profit=0 (its own RP is
+                # excluded from Definition 2), so its children carry PP==0
+                if st.path_profit != 0:
+                    findings.append(
+                        Finding(
+                            "path-profit-sum",
+                            f"node {node_id} is a direct child of source "
+                            f"{source} but carries PP={st.path_profit} != 0",
+                            node=node_id,
+                        )
+                    )
+                continue
+            up_agent = agents[up_id] if 0 <= up_id < len(agents) else None
+            up_sessions = getattr(up_agent, "sessions", None)
+            up = up_sessions.get((source, group)) if up_sessions else None
+            if up is None or up.seq != st.seq:
+                continue  # upstream moved to a newer round; nothing to compare
+            expected = up.path_profit + up.relay_profit
+            if st.path_profit != expected:
+                findings.append(
+                    Finding(
+                        "path-profit-sum",
+                        f"node {node_id} carries PP={st.path_profit} but its "
+                        f"upstream {up_id} advertises PP+RP="
+                        f"{up.path_profit}+{up.relay_profit}={expected} "
+                        f"(src={source}, grp={group}, seq={st.seq})",
+                        node=node_id,
+                    )
+                )
+    return findings
+
+
+def check_energy(
+    nodes: Sequence,
+    prev_consumed: Dict[int, float],
+) -> List[Finding]:
+    """``energy-conserved``: non-negative, monotone, depletion-consistent.
+
+    ``prev_consumed`` maps node id to the (tx + rx) joules seen at the
+    previous checkpoint and is updated in place.
+    """
+    findings: List[Finding] = []
+    for node in nodes:
+        acct = node.energy
+        node_id = node.node_id
+        tx, rx = acct.tx_joules, acct.rx_joules
+        if tx < 0.0 or rx < 0.0:
+            findings.append(
+                Finding(
+                    "energy-conserved",
+                    f"node {node_id} has negative energy counters "
+                    f"(tx={tx}, rx={rx})",
+                    node=node_id,
+                )
+            )
+        consumed = tx + rx
+        prev = prev_consumed.get(node_id)
+        if prev is not None and consumed < prev:
+            findings.append(
+                Finding(
+                    "energy-conserved",
+                    f"node {node_id} consumption decreased between "
+                    f"checkpoints ({prev} -> {consumed} J)",
+                    node=node_id,
+                )
+            )
+        prev_consumed[node_id] = consumed
+        if acct.depleted and consumed < acct.initial_joules:
+            findings.append(
+                Finding(
+                    "energy-conserved",
+                    f"node {node_id} flagged depleted with {consumed} J "
+                    f"consumed of {acct.initial_joules} J budget",
+                    node=node_id,
+                )
+            )
+    return findings
+
+
+def check_feasible_forwarding(
+    graph,
+    source: int,
+    receivers: Iterable[int],
+    transmitters: Set[int],
+    delivered: Set[int],
+) -> List[Finding]:
+    """``feasible-forwarding-set`` against the Sec. III predicate.
+
+    ``transmitters`` is the set of nodes with a data-plane TX record and
+    ``delivered`` the receivers with a DELIVER record.  On a static
+    deployment the physics guarantee feasibility for the *delivered*
+    subset — every transmitter other than the source first heard the
+    packet from another transmitter in range, and every delivered
+    receiver heard one — so a breach means the trace or radio model is
+    lying.  The caller must skip this check when nodes moved (the graph
+    the packets traversed is no longer the graph we would validate
+    against).
+    """
+    from repro.trees.validate import is_valid_transmitter_set
+
+    served = set(delivered) & set(receivers)
+    if not served:
+        return []  # nothing delivered: no feasibility claim to check
+    if not transmitters:
+        return [
+            Finding(
+                "feasible-forwarding-set",
+                f"receivers {sorted(served)} have DELIVER records but no "
+                f"node has a data TX record",
+            )
+        ]
+    if not is_valid_transmitter_set(graph, transmitters, source, served):
+        return [
+            Finding(
+                "feasible-forwarding-set",
+                f"data transmitters {sorted(transmitters)} are not a valid "
+                f"transmitter set for source {source} and delivered "
+                f"receivers {sorted(served)}",
+                node=source,
+            )
+        ]
+    return []

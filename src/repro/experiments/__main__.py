@@ -195,6 +195,12 @@ def _run_scaling(args) -> None:
     print("[json] results/scaling.json")
 
 
+def _run_check(args) -> None:
+    from repro.experiments.check import run_check
+
+    run_check(args)
+
+
 COMMANDS = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -207,11 +213,12 @@ COMMANDS = {
     "faults": _run_faults,
     "bench": _run_bench,
     "scaling": _run_scaling,
+    "check": _run_check,
 }
 
 #: Utility commands excluded from ``all`` (they measure the machine, not
 #: the paper).
-_NON_FIGURE = {"bench", "scaling"}
+_NON_FIGURE = {"bench", "scaling", "check"}
 
 
 def main(argv=None) -> int:

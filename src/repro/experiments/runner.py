@@ -142,6 +142,7 @@ def run_single(
     keep_positions: bool = False,
     trace: Optional[TraceRecorder] = None,
     cache: Union[None, bool, str, Path] = None,
+    check=None,
 ) -> RunResult:
     """Execute one multicast round under ``cfg`` and collect all metrics.
 
@@ -159,6 +160,12 @@ def run_single(
         enables iff ``$REPRO_RESULT_CACHE`` is set.  Only plain metric
         runs are cached — never runs keeping positions or an external
         trace, whose value is in the side artifacts.
+    check:
+        Optional :class:`repro.check.CheckHarness` enforcing protocol
+        invariants at the route-discovery and end-of-run checkpoints
+        (and on RouteErrors).  The harness only reads simulator state,
+        so the run's trace is identical with or without it.  Checked
+        runs are never cached — the point is to execute them.
     """
     cache_dir: Optional[Path]
     if cache is False:
@@ -167,7 +174,9 @@ def run_single(
         cache_dir = _default_cache_dir()
     else:
         cache_dir = Path(cache)
-    cacheable = cache_dir is not None and not keep_positions and trace is None
+    cacheable = (
+        cache_dir is not None and not keep_positions and trace is None and check is None
+    )
     if cacheable:
         cache_path = cache_dir / f"{config_hash(cfg)}.json"
         cached = _cache_load(cache_path)
@@ -182,7 +191,7 @@ def run_single(
     if gc_was_enabled:
         gc.disable()
     try:
-        result = _execute_run(cfg, keep_positions=keep_positions, trace=trace)
+        result = _execute_run(cfg, keep_positions=keep_positions, trace=trace, check=check)
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -195,6 +204,7 @@ def _execute_run(
     cfg: SimulationConfig,
     keep_positions: bool = False,
     trace: Optional[TraceRecorder] = None,
+    check=None,
 ) -> RunResult:
     """Build the network, run the round, and collect metrics (no caching)."""
     from repro.mac.csma import CsmaMac
@@ -205,6 +215,9 @@ def _execute_run(
     if trace is None:
         trace = TraceRecorder(enabled_kinds=_trace_kinds(cfg))
     sim = Simulator(seed=cfg.seed, trace=trace)
+    if check is not None:
+        # before Network construction: the channel caches trace.emit
+        check.attach(sim, context=cfg)
     positions = make_positions(cfg, sim.rng.stream("topology"))
     perfect = cfg.perfect_channel or cfg.mac == "ideal"
     mac_factory = IdealMac if cfg.mac == "ideal" else CsmaMac
@@ -250,6 +263,9 @@ def _execute_run(
     else:
         net.bootstrap_neighbor_tables(with_positions=geographic)
 
+    if check is not None:
+        check.bind_network(net, agents, cfg.source, cfg.group, receivers)
+
     source_agent = agents[cfg.source]
     t0 = sim.now
     settle = cfg.effective_construction_time
@@ -266,8 +282,13 @@ def _execute_run(
     else:
         source_agent.request_route(cfg.group)
         sim.run(until=t0 + settle)
+        if check is not None:
+            check.checkpoint("route-discovery")
         source_agent.send_data(cfg.group, 0)
         sim.run(until=t0 + settle + cfg.data_time)
+
+    if check is not None:
+        check.checkpoint("end-of-run")
 
     if cfg.protocol == "flooding":
         m = _flooding_metrics(net, cfg, receivers)

@@ -163,19 +163,30 @@ class EventQueue:
         overhead.  The events are fire-and-forget: no handles are returned
         (and no :class:`Event` objects allocated), so use :meth:`push` for
         anything that may need cancelling.
+
+        The batch is *atomic with respect to validation*: every timestamp
+        is checked before the first entry touches the heap, so a NaN
+        mid-batch leaves the queue exactly as it was.  (Pushing first and
+        raising mid-loop would strand entries in the heap without
+        advancing ``_seq``/``_live`` — later pushes would then reuse
+        sequence numbers, breaking the stable FIFO tie-break and, worse,
+        letting heap comparisons reach slot 3 where an :class:`Event` and
+        a bare callable don't compare.)
         """
-        heap = self._heap
-        heappush = heapq.heappush
+        staged = []
+        append = staged.append
         seq = self._seq
-        n = 0
         for time, fn, args in items:
             if time != time:
                 raise ValueError("event time is NaN")
-            heappush(heap, (time, priority, seq, fn, args))
+            append((time, priority, seq, fn, args))
             seq += 1
-            n += 1
+        heap = self._heap
+        heappush = heapq.heappush
+        for entry in staged:
+            heappush(heap, entry)
         self._seq = seq
-        self._live += n
+        self._live += len(staged)
 
     def cancel(self, ev: Event) -> None:
         """Cancel a previously pushed event.  Safe to call twice."""

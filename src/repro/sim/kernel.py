@@ -74,8 +74,8 @@ class Simulator:
         priority: int = 0,
     ) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
+        if not delay >= 0:  # rejects negatives AND NaN (NaN fails every compare)
+            raise SimulationError(f"invalid delay {delay!r}")
         return self._queue.push(self.now + delay, fn, args, priority)
 
     def schedule_fire(
@@ -92,8 +92,8 @@ class Simulator:
         high-volume events (frame arrivals, reception completions, MAC
         timers) that are never cancelled.
         """
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
+        if not delay >= 0:
+            raise SimulationError(f"invalid delay {delay!r}")
         self._queue.push_fire(self.now + delay, fn, args, priority)
 
     def schedule_at(
@@ -104,8 +104,8 @@ class Simulator:
         priority: int = 0,
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time`` (must not be in the past)."""
-        if time < self.now:
-            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        if not time >= self.now:  # rejects the past AND NaN
+            raise SimulationError(f"cannot schedule at {time!r} < now {self.now}")
         return self._queue.push(time, fn, args, priority)
 
     def schedule_many(
@@ -125,8 +125,8 @@ class Simulator:
         entries = []
         append = entries.append
         for delay, fn, args in items:
-            if delay < 0:
-                raise SimulationError(f"negative delay {delay!r}")
+            if not delay >= 0:
+                raise SimulationError(f"invalid delay {delay!r}")
             append((now + delay, fn, args))
         self._queue.push_many(entries, priority)
 
@@ -242,7 +242,20 @@ class Simulator:
 
         Random streams and the trace are *not* reset; construct a fresh
         :class:`Simulator` for an independent run.
+
+        Must not be called from inside an executing event handler: the run
+        loop batches its live-count bookkeeping and reconciles it after
+        the loop exits, so clearing the queue mid-run would drive the
+        count negative (every event popped since loop entry would be
+        subtracted from a count that was just zeroed).  Call
+        :meth:`stop` from the handler instead, then reset once
+        :meth:`run` has returned.
         """
+        if self._running:
+            raise SimulationError(
+                "reset() called from inside a running handler; "
+                "call stop() and reset after run() returns"
+            )
         self._queue.clear()
         self.now = 0.0
         self._stopped = False

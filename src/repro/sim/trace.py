@@ -107,6 +107,10 @@ class TraceRecorder:
         self._ix: Dict[_IxKey, List[int]] = {}
         self._ix_nodes: Dict[_IxKey, Set[int]] = {}
         self._ix_upto = 0
+        #: live observers (see :meth:`add_watcher`); the hot path pays
+        #: nothing while this list is empty — installing a watcher swaps
+        #: ``emit`` for a wrapping closure on *this instance only*
+        self._watchers: List[Any] = []
 
     def emit(
         self,
@@ -124,6 +128,42 @@ class TraceRecorder:
             self.records.append(
                 _tuple_new(TraceRecord, (time, kind, node, packet_type, detail))
             )
+
+    # ------------------------------------------------------------------ #
+    # watchers
+    # ------------------------------------------------------------------ #
+    def add_watcher(self, fn) -> None:
+        """Invoke ``fn(time, kind, node, packet_type, detail)`` after each emit.
+
+        Used by :mod:`repro.check` to react to records (e.g. a RouteError
+        transmission) as they happen.  The plain class-level ``emit``
+        stays untouched — installing the first watcher shadows it with a
+        wrapping closure *on this instance only*, so a recorder without
+        watchers pays nothing.  Watchers must not emit records themselves
+        (that would recurse) and must not schedule events or draw rng —
+        they observe, they don't perturb.
+
+        Components that cache a bound ``trace.emit`` (e.g. the channel)
+        must be rebound after installation; :class:`repro.check.CheckHarness`
+        handles this when attached before network construction.
+        """
+        self._watchers.append(fn)
+        if len(self._watchers) == 1:
+            base = TraceRecorder.emit.__get__(self, TraceRecorder)
+            watchers = self._watchers
+
+            def emit(time, kind, node, packet_type=None, detail=None):
+                base(time, kind, node, packet_type, detail)
+                for w in watchers:
+                    w(time, kind, node, packet_type, detail)
+
+            self.emit = emit  # type: ignore[method-assign]
+
+    def remove_watcher(self, fn) -> None:
+        """Detach a watcher installed by :meth:`add_watcher`."""
+        self._watchers.remove(fn)
+        if not self._watchers:
+            del self.emit  # back to the zero-overhead class method
 
     # ------------------------------------------------------------------ #
     # indexes

@@ -1,0 +1,110 @@
+"""Property-based protocol fuzzing under the invariant harness.
+
+The central property: *no reachable scenario violates any invariant*.
+Hypothesis explores the scenario space (topology, receivers, loss,
+faults, mobility, energy budgets); every generated scenario executes a
+full simulation under a ``CheckHarness`` and must come back clean.
+The suite-wide ``derandomized`` profile (tests/conftest.py) keeps the
+explored examples identical across machines; falsifying examples get
+shrunk and should be committed to ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.check.fuzz import (
+    BOUNDS,
+    Scenario,
+    load_corpus_entry,
+    random_scenario,
+    replay_corpus_entry,
+    run_scenario,
+    save_corpus_entry,
+    scenario_strategy,
+)
+from repro.experiments.config import SimulationConfig
+
+
+@settings(max_examples=25)
+@given(scenario_strategy())
+def test_no_scenario_violates_invariants(scenario):
+    report = run_scenario(scenario, mode="collect")
+    assert report.ok, (
+        f"invariant violations in fuzzed scenario {scenario.describe()}:\n"
+        + "\n".join(str(v).splitlines()[0] for v in report.violations)
+        + f"\nrepro: Scenario.from_dict({scenario.to_dict()!r})"
+    )
+    # both scheduled checkpoints ran (route-error ones may add more)
+    assert report.checkpoints[0] == "route-discovery"
+    assert report.checkpoints[-1] == "end-of-run"
+
+
+@settings(max_examples=10)
+@given(scenario_strategy())
+def test_scenario_roundtrips_through_json(scenario):
+    wire = json.loads(json.dumps(scenario.to_dict()))
+    assert Scenario.from_dict(wire) == scenario
+
+
+def test_random_scenario_generator_stays_in_bounds():
+    rng = np.random.default_rng(7)
+    for _ in range(50):
+        sc = random_scenario(rng)
+        assert isinstance(sc.config, SimulationConfig)
+        assert sc.config.protocol in BOUNDS["protocols"]
+        assert 1 <= sc.config.group_size <= BOUNDS["group_max"]
+        assert BOUNDS["n_packets"][0] <= sc.n_packets <= BOUNDS["n_packets"][1]
+        for ev in sc.faults:
+            assert set(ev) == {"time", "node", "kind"}
+            assert 0 <= ev["node"] < sc.config.n_nodes
+
+
+def test_run_scenario_is_deterministic():
+    rng = np.random.default_rng(3)
+    sc = random_scenario(rng)
+    a = run_scenario(sc, mode="collect")
+    b = run_scenario(sc, mode="collect")
+    assert a.trace_sha256 == b.trace_sha256
+    assert a.checkpoints == b.checkpoints
+    assert a.delivered_receivers == b.delivered_receivers
+
+
+class TestCorpusIO:
+    def _scenario(self):
+        return Scenario(
+            config=SimulationConfig(
+                protocol="mtmrp", topology="grid", grid_nx=3, grid_ny=3,
+                side=60.0, group_size=2, seed=77, mac="ideal",
+            ),
+            faults=({"time": 0.5, "node": 4, "kind": "crash"},),
+            n_packets=1,
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        sc = self._scenario()
+        path = tmp_path / "entry.json"
+        save_corpus_entry(sc, path, note="unit")
+        loaded, payload = load_corpus_entry(path)
+        assert loaded == sc
+        assert payload["note"] == "unit"
+
+    def test_replay_checks_pinned_digest(self, tmp_path):
+        sc = self._scenario()
+        path = tmp_path / "entry.json"
+        report = run_scenario(sc, mode="collect")
+        assert report.ok
+        save_corpus_entry(sc, path, trace_sha256=report.trace_sha256)
+        replayed = replay_corpus_entry(path, mode="raise")  # must not raise
+        assert replayed.trace_sha256 == report.trace_sha256
+
+    def test_replay_names_file_on_digest_mismatch(self, tmp_path):
+        sc = self._scenario()
+        path = tmp_path / "entry.json"
+        save_corpus_entry(sc, path, trace_sha256="0" * 64)
+        with pytest.raises(AssertionError, match="entry.json"):
+            replay_corpus_entry(path, mode="raise")

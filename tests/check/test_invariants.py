@@ -1,0 +1,328 @@
+"""Unit tests for the pure invariant checkers: one violation class each.
+
+Every invariant gets (a) a clean case that produces no findings and
+(b) a hand-built counter-example that must produce exactly the expected
+finding — no simulation involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+import pytest
+
+from repro.check.invariants import (
+    check_energy,
+    check_feasible_forwarding,
+    check_sessions,
+    scan_trace,
+)
+from repro.phy.energy import EnergyAccount
+from repro.sim.trace import TraceKind, TraceRecord
+
+
+def rec(time, kind, node, ptype=None, detail=None) -> TraceRecord:
+    return TraceRecord(time, kind, node, ptype, detail)
+
+
+def scan(records, members=None, crashed=None, asleep=None):
+    return scan_trace(
+        records, 0, float("-inf"), crashed or set(), asleep or set(), members
+    )
+
+
+# --------------------------------------------------------------------- #
+# trace-time-monotone
+# --------------------------------------------------------------------- #
+class TestTraceTimeMonotone:
+    def test_sorted_trace_is_clean(self):
+        records = [
+            rec(0.0, TraceKind.TX, 0, "JoinQuery"),
+            rec(0.5, TraceKind.TX, 1, "JoinQuery"),
+            rec(0.5, TraceKind.DELIVER, 2, "DataPacket"),
+        ]
+        findings, last = scan(records)
+        assert findings == []
+        assert last == 0.5
+
+    def test_backwards_timestamp_flagged(self):
+        records = [
+            rec(1.0, TraceKind.TX, 0, "JoinQuery"),
+            rec(0.25, TraceKind.TX, 1, "JoinQuery"),
+        ]
+        findings, _ = scan(records)
+        assert [f.invariant for f in findings] == ["trace-time-monotone"]
+        assert findings[0].time == 0.25
+        assert findings[0].node == 1
+
+    def test_incremental_scan_carries_high_water_mark(self):
+        first = [rec(2.0, TraceKind.TX, 0, "DataPacket")]
+        findings, last = scan(first)
+        assert not findings
+        # second batch starts before the high-water mark of the first
+        late = [rec(1.0, TraceKind.TX, 1, "DataPacket")]
+        findings, _ = scan_trace(late, 0, last, set(), set(), None)
+        assert [f.invariant for f in findings] == ["trace-time-monotone"]
+
+
+# --------------------------------------------------------------------- #
+# silent-when-down
+# --------------------------------------------------------------------- #
+class TestSilentWhenDown:
+    def test_tx_outside_fault_window_is_clean(self):
+        records = [
+            rec(0.0, TraceKind.NOTE, 3, "Fault", ("crash", "plan")),
+            rec(0.5, TraceKind.NOTE, 3, "Fault", ("recover", "plan")),
+            rec(1.0, TraceKind.TX, 3, "DataPacket"),
+        ]
+        findings, _ = scan(records)
+        assert findings == []
+
+    def test_tx_while_crashed_flagged(self):
+        records = [
+            rec(0.0, TraceKind.NOTE, 3, "Fault", ("crash", "plan")),
+            rec(0.5, TraceKind.TX, 3, "DataPacket"),
+        ]
+        findings, _ = scan(records)
+        assert [f.invariant for f in findings] == ["silent-when-down"]
+        assert "crashed" in findings[0].message
+        assert findings[0].node == 3
+
+    def test_tx_while_asleep_flagged(self):
+        records = [
+            rec(0.0, TraceKind.NOTE, 5, "Fault", ("sleep", "duty")),
+            rec(0.2, TraceKind.TX, 5, "JoinQuery"),
+            rec(0.4, TraceKind.NOTE, 5, "Fault", ("wake", "duty")),
+            rec(0.6, TraceKind.TX, 5, "JoinQuery"),
+        ]
+        findings, _ = scan(records)
+        assert [f.invariant for f in findings] == ["silent-when-down"]
+        assert "asleep" in findings[0].message
+
+    def test_down_state_persists_across_scan_batches(self):
+        crashed, asleep = set(), set()
+        batch1 = [rec(0.0, TraceKind.NOTE, 7, "Fault", ("crash", "plan"))]
+        findings, last = scan_trace(batch1, 0, float("-inf"), crashed, asleep, None)
+        assert not findings and crashed == {7}
+        batch2 = [rec(1.0, TraceKind.TX, 7, "DataPacket")]
+        findings, _ = scan_trace(batch2, 0, last, crashed, asleep, None)
+        assert [f.invariant for f in findings] == ["silent-when-down"]
+
+
+# --------------------------------------------------------------------- #
+# deliver-membership
+# --------------------------------------------------------------------- #
+class TestDeliverMembership:
+    def test_member_delivery_is_clean(self):
+        records = [rec(1.0, TraceKind.DELIVER, 4, "DataPacket")]
+        findings, _ = scan(records, members={4, 9})
+        assert findings == []
+
+    def test_non_member_delivery_flagged(self):
+        records = [rec(1.0, TraceKind.DELIVER, 6, "DataPacket")]
+        findings, _ = scan(records, members={4, 9})
+        assert [f.invariant for f in findings] == ["deliver-membership"]
+        assert findings[0].node == 6
+
+    def test_unknown_membership_skips_check(self):
+        records = [rec(1.0, TraceKind.DELIVER, 6, "DataPacket")]
+        findings, _ = scan(records, members=None)
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# session checkers: fakes mirroring SessionState / agent shape
+# --------------------------------------------------------------------- #
+@dataclass
+class FakeState:
+    seq: int = 1
+    relay_profit: int = 0
+    path_profit: int = 0
+    upstream: Optional[int] = None
+
+
+@dataclass
+class FakeAgent:
+    node_id: int
+    sessions: Dict[Tuple[int, int], FakeState] = field(default_factory=dict)
+
+
+def chain_agents():
+    """Source 0 -> node 1 (RP=2) -> node 2, consistent PP bookkeeping."""
+    return [
+        FakeAgent(0, {(0, 1): FakeState(seq=1, relay_profit=1, path_profit=0)}),
+        FakeAgent(1, {(0, 1): FakeState(seq=1, relay_profit=2, path_profit=0, upstream=0)}),
+        FakeAgent(2, {(0, 1): FakeState(seq=1, relay_profit=0, path_profit=2, upstream=1)}),
+    ]
+
+
+class TestProfitNonnegative:
+    def test_clean(self):
+        assert check_sessions(chain_agents(), {}) == []
+
+    def test_negative_relay_profit_flagged(self):
+        agents = chain_agents()
+        agents[1].sessions[(0, 1)].relay_profit = -1
+        findings = check_sessions(agents, {})
+        assert "profit-nonnegative" in {f.invariant for f in findings}
+
+    def test_negative_path_profit_flagged(self):
+        agents = chain_agents()
+        agents[2].sessions[(0, 1)].path_profit = -3
+        findings = check_sessions(agents, {})
+        names = [f.invariant for f in findings if f.node == 2]
+        assert "profit-nonnegative" in names
+
+
+class TestPathProfitSum:
+    def test_clean_chain(self):
+        assert check_sessions(chain_agents(), {}) == []
+
+    def test_child_of_source_must_carry_zero(self):
+        agents = chain_agents()
+        agents[1].sessions[(0, 1)].path_profit = 5
+        findings = check_sessions(agents, {})
+        # node 1 breaks the child-of-source rule, and node 2's sum no
+        # longer matches its (corrupted) upstream either
+        assert {f.invariant for f in findings} == {"path-profit-sum"}
+        assert 1 in {f.node for f in findings}
+
+    def test_sum_mismatch_flagged(self):
+        agents = chain_agents()
+        agents[2].sessions[(0, 1)].path_profit = 7  # upstream advertises 0+2
+        findings = check_sessions(agents, {})
+        assert [f.invariant for f in findings] == ["path-profit-sum"]
+        assert "0+2=2" in findings[0].message
+
+    def test_stale_upstream_round_not_compared(self):
+        agents = chain_agents()
+        # upstream already accepted a newer round; PP comparison is moot
+        agents[1].sessions[(0, 1)].seq = 2
+        agents[2].sessions[(0, 1)].path_profit = 99
+        assert check_sessions(agents, {}) == []
+
+    def test_agents_without_sessions_skipped(self):
+        class Bare:
+            node_id = 0
+
+        assert check_sessions([Bare()], {}) == []
+
+
+class TestSeqMonotone:
+    def test_advancing_seq_is_clean(self):
+        prev = {}
+        agents = chain_agents()
+        assert check_sessions(agents, prev) == []
+        agents[1].sessions[(0, 1)].seq = 2
+        agents[1].sessions[(0, 1)].path_profit = 0
+        assert check_sessions(agents, prev) == []
+
+    def test_seq_regression_flagged(self):
+        prev = {}
+        agents = chain_agents()
+        check_sessions(agents, prev)
+        agents[2].sessions[(0, 1)].seq = 0
+        findings = check_sessions(agents, prev)
+        assert "seq-monotone" in {f.invariant for f in findings}
+
+
+# --------------------------------------------------------------------- #
+# energy-conserved
+# --------------------------------------------------------------------- #
+@dataclass
+class FakeNode:
+    node_id: int
+    energy: EnergyAccount = field(default_factory=EnergyAccount)
+
+
+class TestEnergyConserved:
+    def test_clean(self):
+        nodes = [FakeNode(0), FakeNode(1)]
+        nodes[0].energy.tx_joules = 0.5
+        assert check_energy(nodes, {}) == []
+
+    def test_negative_counter_flagged(self):
+        node = FakeNode(0)
+        node.energy.rx_joules = -0.1
+        findings = check_energy([node], {})
+        assert [f.invariant for f in findings] == ["energy-conserved"]
+        assert "negative" in findings[0].message
+
+    def test_consumption_decrease_flagged(self):
+        node = FakeNode(0)
+        node.energy.tx_joules = 1.0
+        prev = {}
+        assert check_energy([node], prev) == []
+        node.energy.tx_joules = 0.25  # counters went backwards
+        findings = check_energy([node], prev)
+        assert [f.invariant for f in findings] == ["energy-conserved"]
+        assert "decreased" in findings[0].message
+
+    def test_premature_depletion_flagged(self):
+        node = FakeNode(0)
+        node.energy.initial_joules = 2.0
+        node.energy.tx_joules = 0.5
+        node.energy.depleted = True  # claims empty with 1.5 J left
+        findings = check_energy([node], {})
+        assert [f.invariant for f in findings] == ["energy-conserved"]
+        assert "depleted" in findings[0].message
+
+    def test_genuine_depletion_is_clean(self):
+        node = FakeNode(0)
+        node.energy.initial_joules = 1.0
+        node.energy.tx_joules = 0.7
+        node.energy.rx_joules = 0.4
+        node.energy.depleted = True
+        assert check_energy([node], {}) == []
+
+
+# --------------------------------------------------------------------- #
+# feasible-forwarding-set
+# --------------------------------------------------------------------- #
+class TestFeasibleForwarding:
+    @pytest.fixture
+    def path_graph(self):
+        return nx.path_graph(4)  # 0 - 1 - 2 - 3
+
+    def test_valid_set_is_clean(self, path_graph):
+        # 0 and 1 transmit; receiver 2 hears 1 (broadcast advantage)
+        findings = check_feasible_forwarding(
+            path_graph, 0, receivers=[2], transmitters={0, 1}, delivered={2}
+        )
+        assert findings == []
+
+    def test_nothing_delivered_makes_no_claim(self, path_graph):
+        findings = check_feasible_forwarding(
+            path_graph, 0, receivers=[3], transmitters=set(), delivered=set()
+        )
+        assert findings == []
+
+    def test_delivery_without_any_tx_flagged(self, path_graph):
+        findings = check_feasible_forwarding(
+            path_graph, 0, receivers=[3], transmitters=set(), delivered={3}
+        )
+        assert [f.invariant for f in findings] == ["feasible-forwarding-set"]
+        assert "no" in findings[0].message
+
+    def test_disconnected_transmitters_flagged(self, path_graph):
+        # 0 and 2 don't form a connected induced subgraph (1 missing)
+        findings = check_feasible_forwarding(
+            path_graph, 0, receivers=[3], transmitters={0, 2}, delivered={3}
+        )
+        assert [f.invariant for f in findings] == ["feasible-forwarding-set"]
+
+    def test_uncovered_receiver_flagged(self, path_graph):
+        # only the source transmitted, yet node 3 claims delivery
+        findings = check_feasible_forwarding(
+            path_graph, 0, receivers=[3], transmitters={0}, delivered={3}
+        )
+        assert [f.invariant for f in findings] == ["feasible-forwarding-set"]
+
+    def test_only_served_receivers_are_validated(self, path_graph):
+        # receiver 3 was NOT delivered; set covering just receiver 1 is fine
+        findings = check_feasible_forwarding(
+            path_graph, 0, receivers=[1, 3], transmitters={0}, delivered={1}
+        )
+        assert findings == []

@@ -2,8 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+else:
+    # Derandomized by default so local runs and CI explore the identical
+    # example sequence: a property failure reproduces with plain pytest,
+    # no database or --hypothesis-seed juggling.  Opt into fresh examples
+    # with HYPOTHESIS_PROFILE=explore.
+    settings.register_profile(
+        "derandomized",
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("explore", deadline=None, print_blob=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "derandomized"))
 
 from repro.mac.csma import CsmaMac
 from repro.mac.ideal import IdealMac

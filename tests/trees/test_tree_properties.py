@@ -1,0 +1,136 @@
+"""Property-based tests for the tree/transmitter-set heuristics.
+
+Over random geometric (unit-disk) graphs — the graph class every
+heuristic actually runs on — each algorithm must uphold:
+
+* mintx heuristics return transmitter sets satisfying the Sec. III
+  feasibility predicate (``is_valid_transmitter_set``);
+* explicit trees (SPT, KMB Steiner) induce transmitter sets that are
+  feasible, and ``tree_transmission_count == len(transmitters_of_tree)``;
+* nobody beats the exhaustive optimum on instances small enough to
+  brute-force.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import connectivity_graph, random_topology
+from repro.trees.mintx import (
+    greedy_cover_transmitters,
+    node_join_tree,
+    tree_join_tree,
+)
+from repro.trees.spt import shortest_path_tree
+from repro.trees.steiner import kmb_steiner_tree
+from repro.trees.validate import (
+    brute_force_min_transmitters,
+    is_valid_transmitter_set,
+    transmitters_of_tree,
+    tree_transmission_count,
+)
+
+COMM_RANGE = 40.0
+
+SET_HEURISTICS = [node_join_tree, tree_join_tree, greedy_cover_transmitters]
+TREE_BUILDERS = [shortest_path_tree, kmb_steiner_tree]
+
+
+@st.composite
+def geometric_instance(draw, min_n=8, max_n=24):
+    """(graph, source, receivers) over a connected random deployment."""
+    n = draw(st.integers(min_n, max_n))
+    seed = draw(st.integers(0, 2**31 - 1))
+    side = draw(st.sampled_from((60.0, 80.0, 100.0)))
+    pos = random_topology(
+        n, side=side, rng=np.random.default_rng(seed), comm_range=COMM_RANGE
+    )
+    g = connectivity_graph(pos, COMM_RANGE)
+    n_recv = draw(st.integers(1, min(6, n - 1)))
+    receivers = draw(
+        st.permutations(range(1, n)).map(lambda p: sorted(p[:n_recv]))
+    )
+    return g, 0, receivers
+
+
+@settings(max_examples=30)
+@given(geometric_instance())
+def test_mintx_heuristics_return_feasible_sets(instance):
+    g, source, receivers = instance
+    for heuristic in SET_HEURISTICS:
+        t = heuristic(g, source, receivers)
+        assert is_valid_transmitter_set(g, t, source, receivers), (
+            f"{heuristic.__name__} returned infeasible set {sorted(t)} "
+            f"for receivers {receivers}"
+        )
+        assert source in t
+
+
+@settings(max_examples=30)
+@given(geometric_instance())
+def test_tree_builders_induce_feasible_transmitter_sets(instance):
+    g, source, receivers = instance
+    for builder in TREE_BUILDERS:
+        tree = builder(g, source, receivers)
+        # the tree is an actual subgraph of the deployment
+        assert set(tree.nodes) <= set(g.nodes)
+        for u, v in tree.edges:
+            assert g.has_edge(u, v), f"{builder.__name__} invented edge {(u, v)}"
+        # terminals are spanned
+        assert source in tree
+        assert set(receivers) <= set(tree.nodes)
+        t = transmitters_of_tree(tree, source)
+        assert is_valid_transmitter_set(g, t, source, receivers), (
+            f"{builder.__name__} tree induces infeasible transmitters "
+            f"{sorted(t)} for receivers {receivers}"
+        )
+
+
+@settings(max_examples=30)
+@given(geometric_instance())
+def test_transmission_count_equals_transmitter_set_size(instance):
+    g, source, receivers = instance
+    for builder in TREE_BUILDERS:
+        tree = builder(g, source, receivers)
+        assert tree_transmission_count(tree, source) == len(
+            transmitters_of_tree(tree, source)
+        )
+
+
+@settings(max_examples=15)
+@given(geometric_instance(min_n=6, max_n=11))
+def test_nothing_beats_the_exhaustive_optimum(instance):
+    g, source, receivers = instance
+    optimum = brute_force_min_transmitters(g, source, receivers)
+    assert optimum is not None  # deployment is connected by construction
+    for heuristic in SET_HEURISTICS:
+        t = heuristic(g, source, receivers)
+        assert len(t) >= len(optimum), (
+            f"{heuristic.__name__} 'beat' the exhaustive optimum: "
+            f"{sorted(t)} vs {sorted(optimum)}"
+        )
+    for builder in TREE_BUILDERS:
+        t = transmitters_of_tree(builder(g, source, receivers), source)
+        assert len(t) >= len(optimum)
+
+
+def test_single_receiver_adjacent_to_source_needs_only_the_source():
+    g = nx.path_graph(3)
+    for heuristic in SET_HEURISTICS:
+        assert heuristic(g, 0, [1]) == {0}
+
+
+def test_unreachable_receiver_raises():
+    g = nx.Graph()
+    g.add_nodes_from([0, 1, 2])
+    g.add_edge(0, 1)  # node 2 isolated
+    for heuristic in SET_HEURISTICS:
+        with pytest.raises(nx.NetworkXNoPath):
+            heuristic(g, 0, [2])
+    for builder in TREE_BUILDERS:
+        with pytest.raises(nx.NetworkXNoPath):
+            builder(g, 0, [2])
