@@ -121,12 +121,20 @@ def cross_protocol_check(
     (both come from named streams of the same master seed), so the
     numbers are directly comparable.  Returns
     ``{protocol: (delivery_ratio, data_transmissions)}``.
+
+    All variants share one warm prefix snapshot: the deployment, channel
+    and neighbor bootstrap are built once and forked per protocol
+    (bit-identical to rebuilding — GMR keeps its own snapshot because its
+    bootstrap shares positions).
     """
+    from repro.sim.snapshot import SnapshotCache
+
+    snapshots = SnapshotCache()
     out: Dict[str, Tuple[float, int]] = {}
     for proto in protocols:
         cfg = SimulationConfig(
             protocol=proto, topology=topology, group_size=group_size, seed=seed
         )
-        res = run_single(cfg, cache=False)
+        res = run_single(cfg, cache=False, warm_start=snapshots)
         out[proto] = (res.delivery_ratio, res.data_transmissions)
     return out

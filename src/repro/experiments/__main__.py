@@ -148,7 +148,7 @@ def _run_faults(args) -> None:
     runs = max(args.runs // 5, 3)
     print("\n== Fault injection: mid-stream forwarder crash (grid, ideal MAC) ==")
     header = (f"{'protocol':>10} {'delivery':>9} {'pre':>7} {'post':>7} "
-              f"{'recovery(s)':>12} {'recovered':>10}")
+              f"{'recovery(s)':>12} {'p95(s)':>8} {'recovered':>10}")
     for loss, label in ((0.0, "loss-free links"), (0.1, "10% i.i.d. frame loss")):
         out = fault_sweep(
             runs=runs,
@@ -160,11 +160,12 @@ def _run_faults(args) -> None:
         for proto, v in out.items():
             print(f"{proto:>10} {v['delivery_ratio']:>9.3f} "
                   f"{v['pre_fault_delivery']:>7.3f} {v['post_fault_delivery']:>7.3f} "
-                  f"{v['recovery_latency']:>12.3f} {v['recovered_runs']:>10.0%}")
+                  f"{v['recovery_latency']:>12.3f} {v['recovery_p95']:>8.3f} "
+                  f"{v['recovered_runs']:>10.0%}")
 
 
 def _run_bench(args) -> None:
-    from repro.experiments.bench import write_bench_json
+    from repro.experiments.bench import append_history, compare_to_baseline, write_bench_json
 
     out = args.bench_out
     print(f"\n== Microbenchmarks (writing {out}) ==")
@@ -172,12 +173,29 @@ def _run_bench(args) -> None:
     for name, entry in results.items():
         if "wall_s" in entry:
             speed = entry.get("speedup")
-            extra = f"  {speed:5.1f}x vs seed" if speed is not None else ""
+            extra = f"  {speed:5.1f}x vs baseline" if speed is not None else ""
             print(f"  {name:28s} {entry['wall_s'] * 1e3:9.3f} ms"
                   f"  {entry['ops_per_s']:>12,.0f} ops/s{extra}")
         else:
             print(f"  {name:28s} {entry['peak_mb']:9.2f} MB peak"
                   f"  ({entry['memory_ratio']:.1f}x below seed)")
+    if args.bench_history:
+        p = append_history(results, args.bench_history,
+                           note="fast" if args.fast else "full")
+        print(f"  [history] appended to {p}")
+    if args.bench_compare:
+        regressions = compare_to_baseline(
+            results, args.bench_compare, threshold=args.bench_threshold
+        )
+        if regressions:
+            print(f"\n  REGRESSIONS vs {args.bench_compare} "
+                  f"(>{args.bench_threshold:.0%} slower):", file=sys.stderr)
+            for name, base, cur, ratio in regressions:
+                print(f"    {name:28s} {base * 1e3:9.3f} -> {cur * 1e3:9.3f} ms "
+                      f"({ratio:.2f}x)", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"  [compare] no >{args.bench_threshold:.0%} regressions "
+              f"vs {args.bench_compare}")
 
 
 def _run_scaling(args) -> None:
@@ -249,6 +267,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fast", action="store_true",
         help="bench: fewer repetitions (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--bench-compare", default=None, metavar="BASELINE_JSON",
+        help="bench: compare against a committed BENCH_core.json and exit "
+             "non-zero on wall-time regressions beyond --bench-threshold",
+    )
+    parser.add_argument(
+        "--bench-threshold", type=float, default=0.25,
+        help="bench: allowed fractional slowdown before --bench-compare "
+             "fails (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--bench-history", default=None, metavar="HISTORY_JSONL",
+        help="bench: append one summary row to this JSON-lines trend file "
+             "(e.g. BENCH_history.jsonl)",
     )
     parser.add_argument(
         "--sizes", type=int, nargs="*", default=None,

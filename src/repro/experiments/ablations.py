@@ -33,7 +33,9 @@ __all__ = [
 
 
 def _batch(cfg: SimulationConfig, runs: int, batch_seed: int, workers: int) -> List[RunResult]:
-    return run_many(monte_carlo(cfg, runs, batch_seed), workers=workers)
+    # Ablation arms share the batch seed, so both sides of every pair can
+    # fork the same warm prefix (auto-gated on profitability).
+    return run_many(monte_carlo(cfg, runs, batch_seed), workers=workers, warm=True)
 
 
 def phs_ablation(

@@ -2,13 +2,22 @@
 
 ``python -m repro.experiments bench`` runs one timed workload per hot
 path — event-heap churn, kernel run loop, channel construction (200 and
-2000 nodes), a full MTMRP round, trace queries — plus a peak-memory probe
+2000 nodes), a full MTMRP round, trace queries, warm-start campaign
+execution, pool reuse, dense delivery fan-out — plus a peak-memory probe
 of 2000-node channel construction, and writes the machine-readable
 ``BENCH_core.json``.  Each entry carries wall-time, ops/sec, and the
 speedup against :data:`SEED_BASELINE` — the same workloads measured on
 the pre-optimisation tree — so the perf trajectory is tracked from this
-PR onward.  ``docs/PERFORMANCE.md`` explains how to read and regenerate
-the file.
+PR onward.  The campaign benches measure their own cold path live
+instead (machine-independent: both sides run on the same box in the
+same process).  ``docs/PERFORMANCE.md`` explains how to read and
+regenerate the file.
+
+:func:`compare_to_baseline` grades a fresh run against a committed
+``BENCH_core.json`` (CI fails on >25% wall-time regression), and
+:func:`append_history` appends one summary row per run to
+``BENCH_history.jsonl`` so the trend across PRs is recorded, not just
+the latest point.
 
 Timings are min-of-N ``perf_counter`` measurements (minimum, not mean:
 the minimum is the least-noisy estimator of the achievable time on a
@@ -21,11 +30,17 @@ import json
 import time
 import tracemalloc
 from pathlib import Path
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 import numpy as np
 
-__all__ = ["SEED_BASELINE", "run_benchmarks", "write_bench_json"]
+__all__ = [
+    "SEED_BASELINE",
+    "run_benchmarks",
+    "write_bench_json",
+    "compare_to_baseline",
+    "append_history",
+]
 
 #: Min-of-N wall seconds for the identical workloads on the seed tree
 #: (dense geometry, Event-object heap, scanning trace queries), captured
@@ -147,6 +162,115 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
 
     record("trace_queries_50k", _best_of(queries, 3 if fast else 5, 1), 60)
 
+    # -- warm-start campaign: 50 hello-phase runs, cold vs forked ------- #
+    # 25 (N, w) tuning cells x 2 seeds, every run paying a 15 s HELLO
+    # warmup.  The cold side rebuilds the prefix per run (exactly what
+    # the tree did before snapshots existed); the warm side captures each
+    # seed's prefix once and forks it.  Results are bit-identical — the
+    # digest-pinned tests in tests/sim/test_snapshot.py enforce that —
+    # so the ratio is pure execution-engine speedup.
+    from repro.experiments import runner as runner_mod
+    from repro.experiments.runner import run_many
+
+    base = SimulationConfig(
+        protocol="mtmrp", topology="grid", group_size=20, mac="csma",
+        hello_phase=True, hello_warmup=15.0,
+        construction_time=0.5, data_time=0.25,
+    )
+    campaign = [
+        base.with_(seed=seed, backoff_n=n, backoff_w=w)
+        for seed in (11, 12)
+        for n in (3.0, 4.0, 5.0, 6.0, 7.0)
+        for w in (0.001, 0.005, 0.01, 0.02, 0.03)
+    ]
+    t0 = time.perf_counter()
+    cold = run_many(campaign)
+    t_cold = time.perf_counter() - t0
+    runner_mod._process_snapshots().clear()  # pay the captures inside the timing
+    t0 = time.perf_counter()
+    warm = run_many(campaign, warm=True)
+    t_warm = time.perf_counter() - t0
+    if warm != cold:  # pragma: no cover - determinism violation
+        raise AssertionError("warm-start campaign diverged from the cold path")
+    results["campaign_warmstart_50"] = {
+        "wall_s": t_warm,
+        "ops": len(campaign),
+        "ops_per_s": len(campaign) / t_warm,
+        "baseline_wall_s": t_cold,
+        "speedup": t_cold / t_warm,
+    }
+
+    # -- persistent pool vs per-point pools over a 4-point sweep -------- #
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.experiments.runner import _run_chunk, _warm_imports, shutdown_pool
+
+    static = SimulationConfig(protocol="mtmrp", topology="grid", group_size=10, mac="ideal")
+    points = [
+        [static.with_(group_size=gs, seed=s) for s in range(60, 66)]
+        for gs in (5, 10, 15, 20)
+    ]
+
+    def sweep_fresh() -> list:
+        # the pre-pool pattern: spawn + warm + tear down one executor per
+        # sweep point, one future per run
+        out = []
+        for cfgs in points:
+            with ProcessPoolExecutor(max_workers=2, initializer=_warm_imports) as pool:
+                futs = [pool.submit(_run_chunk, [(i, c, False)]) for i, c in enumerate(cfgs)]
+                out.extend(fut.result()[0][1] for fut in futs)
+        return out
+
+    def sweep_shared() -> list:
+        out = []
+        for cfgs in points:
+            out.extend(run_many(cfgs, workers=2))
+        return out
+
+    n_runs = sum(len(p) for p in points)
+    t0 = time.perf_counter()
+    fresh = sweep_fresh()
+    t_fresh = time.perf_counter() - t0
+    shutdown_pool()  # charge pool creation to the shared side too
+    t0 = time.perf_counter()
+    shared = sweep_shared()
+    t_shared = time.perf_counter() - t0
+    if fresh != shared:  # pragma: no cover - determinism violation
+        raise AssertionError("shared-pool sweep diverged from per-point pools")
+    results["pool_reuse_sweep"] = {
+        "wall_s": t_shared,
+        "ops": n_runs,
+        "ops_per_s": n_runs / t_shared,
+        "baseline_wall_s": t_fresh,
+        "speedup": t_fresh / t_shared,
+    }
+
+    # -- dense-path delivery fan-out at 2000 nodes ---------------------- #
+    # Shadow fading forces the dense (n, n) geometry; the workload is one
+    # full round of per-sender delivery-list builds plus the batched loss
+    # draw over each list — the exact inner loop of Channel.transmit.
+    from repro.net.loss import IidLoss
+    from repro.phy.propagation import LogDistance
+
+    fading = LogDistance(
+        reference_distance=1.0,
+        reference_power_factor=(1.5 * 1.5) ** 2,
+        path_loss_exponent=4.0,
+        shadowing_sigma_db=4.0,
+        rng=np.random.default_rng(9),
+    )
+    ch2000 = Channel(Simulator(seed=1), pos2000, comm_range=40.0, propagation=fading)
+    fan_loss = IidLoss(0.1, np.random.default_rng(17))
+
+    def fanout() -> None:
+        ch2000._delivery = [None] * ch2000.n  # rebuild, not replay, the cache
+        for i in range(ch2000.n):
+            dl = ch2000._delivery_list(i)
+            if dl:
+                fan_loss.frame_lost_batch(i, [e[0] for e in dl])
+
+    record("delivery_fanout_2000", _best_of(fanout, 3 if fast else 5, 1), 2000)
+
     # -- geometry memory at 2000 nodes ---------------------------------- #
     tracemalloc.start()
     Channel(Simulator(seed=1), pos2000, comm_range=40.0)
@@ -174,3 +298,65 @@ def write_bench_json(
     }
     Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return results
+
+
+def compare_to_baseline(
+    results: Dict[str, Dict[str, float]],
+    baseline: Union[str, Path],
+    threshold: float = 0.25,
+) -> List[Tuple[str, float, float, float]]:
+    """Grade fresh results against a committed ``BENCH_core.json``.
+
+    Returns ``(name, baseline_value, current_value, ratio)`` for every
+    benchmark whose wall time (or peak memory) grew by more than
+    ``threshold`` — the CI regression gate.  Benchmarks present on only
+    one side are skipped, so adding or retiring a workload never breaks
+    the gate.  Wall-time comparisons are only meaningful against a
+    baseline captured on a similar machine (CI compares runner-class
+    against runner-class).
+    """
+    payload = json.loads(Path(baseline).read_text())
+    base = payload.get("benchmarks", payload)
+    regressions: List[Tuple[str, float, float, float]] = []
+    for name, entry in results.items():
+        ref = base.get(name)
+        if ref is None:
+            continue
+        for field in ("wall_s", "peak_mb"):
+            if field in entry and field in ref and ref[field] > 0:
+                ratio = entry[field] / ref[field]
+                if ratio > 1.0 + threshold:
+                    regressions.append((name, ref[field], entry[field], ratio))
+                break
+    return regressions
+
+
+def append_history(
+    results: Dict[str, Dict[str, float]],
+    path: Union[str, Path] = "BENCH_history.jsonl",
+    note: str = "",
+) -> Path:
+    """Append one summary row per bench run; the cross-PR perf trend.
+
+    ``BENCH_core.json`` is overwritten per run (the latest point);
+    the history file only ever grows, one JSON object per line with the
+    UTC timestamp and each benchmark's headline numbers.
+    """
+    row = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "note": note,
+        "benchmarks": {
+            name: {
+                k: entry[k]
+                for k in ("wall_s", "ops_per_s", "speedup", "peak_mb")
+                if k in entry
+            }
+            for name, entry in results.items()
+        },
+    }
+    p = Path(path)
+    if p.parent != Path("."):
+        p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return p

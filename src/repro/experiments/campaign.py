@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.runner import RunResult, run_single
+from repro.experiments.runner import RunError, RunResult, run_many
 
 __all__ = ["run_campaign", "load_campaign", "config_key"]
 
@@ -83,24 +83,41 @@ def run_campaign(
     configs: Iterable[SimulationConfig],
     path: str | Path,
     progress: Optional[callable] = None,
+    workers: int = 1,
+    warm: bool = True,
+    on_error: str = "raise",
 ) -> List[Dict]:
     """Run every config not already in the campaign file; returns all records.
 
-    Results are appended (and flushed) one by one, so an interrupted
-    campaign loses at most the in-flight run.
+    Results are appended (and flushed) one by one as they complete, so an
+    interrupted campaign loses at most the in-flight runs.  ``workers``
+    fans the todo list over the persistent worker pool; ``warm`` forks
+    shared run prefixes where profitable (both via
+    :func:`~repro.experiments.runner.run_many` — results and the file
+    contents are bit-identical to the serial cold path, only completion
+    *order* may differ).  ``on_error="collect"`` skips failed runs
+    (nothing is checkpointed for them, so a rerun retries) instead of
+    aborting the campaign.
     """
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
     index, records = load_campaign(p)
     todo = [c for c in configs if config_key(c) not in index]
+    done = [0]
     with p.open("a") as fh:
-        for i, cfg in enumerate(todo):
-            res = run_single(cfg)
-            rec = _result_record(cfg, res)
+
+        def checkpoint(i: int, res) -> None:
+            done[0] += 1
+            if isinstance(res, RunError):
+                return  # on_error="collect": leave the run for a rerun
+            rec = _result_record(todo[i], res)
             fh.write(json.dumps(rec) + "\n")
             fh.flush()
             records.append(rec)
-            index[config_key(cfg)] = rec
+            index[config_key(todo[i])] = rec
             if progress is not None:
-                progress(i + 1, len(todo))
+                progress(done[0], len(todo))
+
+        run_many(todo, workers=workers, warm=warm, on_error=on_error,
+                 on_result=checkpoint)
     return records

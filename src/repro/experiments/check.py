@@ -45,7 +45,20 @@ def _fuzz_campaign(runs: int, seed: int) -> int:
     failures = 0
     for i in range(runs):
         scenario = random_scenario(rng)
-        report = run_scenario(scenario, mode="collect")
+        # One poisoned scenario must not kill the campaign: a crash in
+        # the simulator is itself a finding — record it (with the seed
+        # that reproduces it) exactly like an invariant violation.
+        try:
+            report = run_scenario(scenario, mode="collect")
+        except Exception as exc:  # noqa: BLE001 - isolated per scenario
+            failures += 1
+            FAILURE_DIR.mkdir(parents=True, exist_ok=True)
+            out = FAILURE_DIR / f"seed{scenario.config.seed}.json"
+            save_corpus_entry(scenario, out, note=f"crash: {exc!r}")
+            print(f"  [{i:3d}] {scenario.describe()}")
+            print(f"        CRASH {exc!r} (seed={scenario.config.seed})")
+            print(f"        -> scenario saved to {out}")
+            continue
         if report.ok:
             continue
         failures += 1

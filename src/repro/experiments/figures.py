@@ -82,7 +82,13 @@ def _group_size_sweep(
             cfg = SimulationConfig(protocol=proto, topology=topology, group_size=gs)
             # Same batch seed across protocols -> paired receiver draws,
             # which is how the paper compares protocols round by round.
-            results = run_many(monte_carlo(cfg, runs, batch_seed + gs), workers=workers)
+            # warm=True forks the shared topology/channel/HELLO prefix per
+            # (seed, group size) instead of rebuilding it for every
+            # protocol (auto-gated: it only kicks in where forking beats
+            # a cold build).
+            results = run_many(
+                monte_carlo(cfg, runs, batch_seed + gs), workers=workers, warm=True
+            )
             sweep.add(proto, gs, results)
     return sweep
 
@@ -144,7 +150,11 @@ def _tuning_sweep(
                 backoff_w=w if uses_backoff else 0.001,
             )
             if cfg not in cache:
-                cache[cfg] = run_many(monte_carlo(cfg, runs, batch_seed), workers=workers)
+                # every (N, w) cell shares the batch seed -> identical
+                # prefixes, the warm fork's best case
+                cache[cfg] = run_many(
+                    monte_carlo(cfg, runs, batch_seed), workers=workers, warm=True
+                )
             sweep.add(proto, (n, w), cache[cfg])
     return sweep
 

@@ -2,12 +2,24 @@
 
 A run is a pure function of its :class:`SimulationConfig` (including the
 seed), so Monte-Carlo batches are embarrassingly parallel.  ``run_many``
-executes them serially by default and fans out over a process pool when
-``workers > 1`` — the multiprocessing analogue of the mpi4py scatter
-pattern from the hpc-parallel guides, with per-run seeds derived
-deterministically from the batch seed (``SeedSequence.spawn`` style).
-Results stream back as workers finish (``as_completed``), so a progress
-callback sees completions immediately instead of after the whole batch.
+executes them serially by default and fans out over a *persistent*
+process pool when ``workers > 1`` — one pool shared by every sweep point
+of a campaign (creating a pool per point paid worker spawn + module
+import over and over).  Configs are submitted in chunks to keep IPC off
+the critical path of small runs, and results stream back as chunks
+finish, so a progress callback sees completions immediately.
+
+Warm starts: paired sweeps (same seed, varying protocol or tuning
+parameters) rebuild an identical prefix — topology, channel, HELLO
+warmup — once per run.  ``run_single(warm_start=...)`` forks that prefix
+from a :class:`repro.sim.snapshot.WarmSnapshot` instead, bit-identically
+(see :mod:`repro.sim.snapshot`); ``run_many(warm=True)`` applies this
+automatically to configs where forking beats a cold build.
+
+Failure isolation: one poisoned config no longer kills a campaign with a
+bare traceback — failures surface as :class:`RunError` carrying the
+config, seed, index and content hash, and ``on_error="collect"`` keeps
+the campaign running with errors returned in-place (fuzz mode).
 
 Because a run is a pure function of its config, results are also
 *cacheable*: :func:`run_single` can content-hash the config and reuse a
@@ -22,6 +34,7 @@ import gc
 import hashlib
 import json
 import os
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -32,20 +45,29 @@ import numpy as np
 from repro.experiments.config import (
     SimulationConfig,
     make_agent_factory,
-    make_loss_model,
-    make_positions,
 )
-from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.sim.snapshot import (
+    SnapshotCache,
+    WarmSnapshot,
+    absorb_trace,
+    build_prefix,
+    default_trace_kinds,
+    prefix_key,
+    warm_profitable,
+)
 from repro.sim.trace import TraceKind, TraceRecorder
 
 __all__ = [
     "RunResult",
+    "RunError",
     "run_single",
     "run_many",
     "monte_carlo",
     "aggregate",
     "config_hash",
+    "shared_pool",
+    "shutdown_pool",
     "CACHE_VERSION",
 ]
 
@@ -94,11 +116,9 @@ class RunResult:
     positions: Optional[np.ndarray] = None
 
 
-def _trace_kinds(cfg: SimulationConfig) -> set:
-    kinds = {TraceKind.TX, TraceKind.DELIVER, TraceKind.MARK, TraceKind.NOTE}
-    if cfg.keep_rx_records:
-        kinds.add(TraceKind.RX)
-    return kinds
+#: The record kinds a plain metrics run stores (definition lives next to
+#: the snapshot engine, which must agree with it exactly).
+_trace_kinds = default_trace_kinds
 
 
 # --------------------------------------------------------------------- #
@@ -143,6 +163,7 @@ def run_single(
     trace: Optional[TraceRecorder] = None,
     cache: Union[None, bool, str, Path] = None,
     check=None,
+    warm_start: Union[None, bool, SnapshotCache, WarmSnapshot] = None,
 ) -> RunResult:
     """Execute one multicast round under ``cfg`` and collect all metrics.
 
@@ -166,6 +187,14 @@ def run_single(
         (and on RouteErrors).  The harness only reads simulator state,
         so the run's trace is identical with or without it.  Checked
         runs are never cached — the point is to execute them.
+    warm_start:
+        Fork the run's prefix (topology/channel/HELLO warmup) from a
+        warm snapshot instead of rebuilding it — bit-identical to the
+        cold path (see :mod:`repro.sim.snapshot`).  ``True`` uses the
+        process-wide :class:`SnapshotCache`; a :class:`SnapshotCache`
+        scopes reuse to the caller; a :class:`WarmSnapshot` must match
+        this config's :func:`~repro.sim.snapshot.prefix_key`.  Ignored
+        for checked runs (the harness hooks the build sequence).
     """
     cache_dir: Optional[Path]
     if cache is False:
@@ -183,6 +212,8 @@ def run_single(
         if cached is not None:
             return cached
 
+    warm = _resolve_warm(warm_start) if check is None else None
+
     # Pause cyclic GC across build + run + metrics: network assembly
     # allocates tens of thousands of containers whose churn triggers
     # pointless gen-0 scans (the run loop pauses GC on its own, but the
@@ -191,12 +222,71 @@ def run_single(
     if gc_was_enabled:
         gc.disable()
     try:
-        result = _execute_run(cfg, keep_positions=keep_positions, trace=trace, check=check)
+        if warm is not None:
+            result = _execute_warm(cfg, warm, keep_positions=keep_positions, trace=trace)
+        else:
+            result = _execute_run(
+                cfg, keep_positions=keep_positions, trace=trace, check=check
+            )
     finally:
         if gc_was_enabled:
             gc.enable()
     if cacheable:
         _cache_store(cache_path, result)
+    return result
+
+
+#: process-wide snapshot cache backing ``run_single(warm_start=True)``;
+#: worker processes each grow their own copy of this module state, which
+#: is what lets a persistent pool amortise prefixes across sweep points
+_SNAPSHOTS: Optional[SnapshotCache] = None
+
+
+def _process_snapshots() -> SnapshotCache:
+    global _SNAPSHOTS
+    if _SNAPSHOTS is None:
+        _SNAPSHOTS = SnapshotCache()
+    return _SNAPSHOTS
+
+
+def _resolve_warm(warm_start) -> Union[None, SnapshotCache, WarmSnapshot]:
+    if warm_start is None or warm_start is False:
+        return None
+    if warm_start is True:
+        return _process_snapshots()
+    if isinstance(warm_start, (SnapshotCache, WarmSnapshot)):
+        return warm_start
+    raise TypeError(
+        f"warm_start must be None/bool/SnapshotCache/WarmSnapshot, "
+        f"got {type(warm_start).__name__}"
+    )
+
+
+def _execute_warm(
+    cfg: SimulationConfig,
+    warm: Union[SnapshotCache, WarmSnapshot],
+    keep_positions: bool = False,
+    trace: Optional[TraceRecorder] = None,
+) -> RunResult:
+    """Fork the prefix from a snapshot and run the protocol suffix."""
+    if isinstance(warm, WarmSnapshot):
+        key = prefix_key(cfg, trace)
+        if warm.key != key:
+            raise ValueError(
+                "warm_start snapshot does not match this config's prefix "
+                "(different topology/seed/channel/HELLO parameters or trace shape)"
+            )
+        snap = warm
+    else:
+        snap = warm.get_or_capture(cfg, trace=trace)
+    fork = snap.fork()
+    result = _run_suffix(
+        cfg, fork.sim, fork.net, fork.receivers, fork.positions, keep_positions
+    )
+    if trace is not None:
+        # the continuation ran on the fork's private recorder; hand the
+        # full trace (prefix + suffix) back to the caller's
+        absorb_trace(trace, fork.sim.trace)
     return result
 
 
@@ -207,61 +297,46 @@ def _execute_run(
     check=None,
 ) -> RunResult:
     """Build the network, run the round, and collect metrics (no caching)."""
-    from repro.mac.csma import CsmaMac
-    from repro.mac.ideal import IdealMac
-    from repro.metrics.collect import collect_metrics
-    from repro.net.network import Network
-
     if trace is None:
         trace = TraceRecorder(enabled_kinds=_trace_kinds(cfg))
-    sim = Simulator(seed=cfg.seed, trace=trace)
-    if check is not None:
-        # before Network construction: the channel caches trace.emit
-        check.attach(sim, context=cfg)
-    positions = make_positions(cfg, sim.rng.stream("topology"))
-    perfect = cfg.perfect_channel or cfg.mac == "ideal"
-    mac_factory = IdealMac if cfg.mac == "ideal" else CsmaMac
-    propagation = None
-    if cfg.shadowing_sigma_db > 0.0:
-        from repro.phy.propagation import LogDistance
-
-        # Median-matched to the paper's TwoRayGround (Pt*(ht*hr)^2/d^4):
-        # identical nominal range, plus quasi-static log-normal fading —
-        # the effect Sec. V-A explicitly disables, kept here as an
-        # ablation substrate.
-        propagation = LogDistance(
-            reference_distance=1.0,
-            reference_power_factor=(1.5 * 1.5) ** 2,
-            path_loss_exponent=4.0,
-            shadowing_sigma_db=cfg.shadowing_sigma_db,
-            rng=sim.rng.stream("shadowing"),
-        )
-    net = Network(
-        sim,
-        positions,
-        comm_range=cfg.comm_range,
-        mac_factory=mac_factory,
-        perfect_channel=perfect,
-        propagation=propagation,
-        loss=make_loss_model(cfg, sim.rng.stream("loss")),
+    # the harness attaches right after kernel creation — before the
+    # channel caches trace.emit
+    attach = (lambda sim: check.attach(sim, context=cfg)) if check is not None else None
+    prefix = build_prefix(cfg, trace=trace, attach=attach)
+    return _run_suffix(
+        cfg,
+        prefix.sim,
+        prefix.net,
+        prefix.receivers,
+        prefix.positions,
+        keep_positions,
+        check=check,
     )
 
-    recv_rng = sim.rng.stream("receivers")
-    candidates = np.arange(0, cfg.n_nodes)
-    candidates = candidates[candidates != cfg.source]
-    receivers = recv_rng.choice(candidates, size=cfg.group_size, replace=False)
-    receivers = [int(r) for r in receivers]
-    net.set_group_members(cfg.group, receivers)
 
-    geographic = cfg.protocol == "gmr"
-    if cfg.hello_phase:
-        net.install_hello(period=cfg.hello_period, share_position=geographic)
+def _run_suffix(
+    cfg: SimulationConfig,
+    sim,
+    net,
+    receivers: List[int],
+    positions: np.ndarray,
+    keep_positions: bool = False,
+    check=None,
+) -> RunResult:
+    """Install the protocol agents and run the discovery/data phases.
+
+    Everything after the snapshot boundary: the only part of a run that
+    depends on ``protocol``/``backoff_*``/phase timings.  HELLO agents
+    (when present) were already started by the prefix, so only the newly
+    installed protocol agents are started here — their ``start()`` is a
+    no-op, making this identical to the historical ``net.start()`` pass.
+    """
+    from repro.metrics.collect import collect_metrics
+
     agents = net.install(make_agent_factory(cfg))
-    net.start()
-    if cfg.hello_phase:
-        sim.run(until=cfg.hello_warmup)
-    else:
-        net.bootstrap_neighbor_tables(with_positions=geographic)
+    for agent in agents:
+        agent.start()
+    geographic = cfg.protocol == "gmr"
 
     if check is not None:
         check.bind_network(net, agents, cfg.source, cfg.group, receivers)
@@ -381,44 +456,214 @@ def monte_carlo(cfg: SimulationConfig, n_runs: int, batch_seed: int = 12345) -> 
     return [cfg.with_(seed=s) for s in seeds]
 
 
+class RunError(RuntimeError):
+    """One run of a campaign failed; carries what reproduces it.
+
+    Raised by :func:`run_many` in ``on_error="raise"`` mode (the default)
+    or returned *in-place* of the result in ``on_error="collect"`` mode.
+    ``config``/``index``/``seed``/``config_hash`` identify the failing
+    run; ``worker_traceback`` preserves the original stack even when the
+    failure happened in a worker process.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        config: Optional[SimulationConfig] = None,
+        index: Optional[int] = None,
+        worker_traceback: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.config = config
+        self.index = index
+        self.config_hash = config_hash(config) if config is not None else None
+        self.worker_traceback = worker_traceback
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.config.seed if self.config is not None else None
+
+
+def _run_error(cfg: SimulationConfig, index: int, cause: str,
+               worker_traceback: Optional[str] = None) -> RunError:
+    return RunError(
+        f"run #{index} failed (seed={cfg.seed}, protocol={cfg.protocol}, "
+        f"config_hash={config_hash(cfg)[:12]}): {cause}",
+        config=cfg,
+        index=index,
+        worker_traceback=worker_traceback,
+    )
+
+
+# --------------------------------------------------------------------- #
+# persistent worker pool
+# --------------------------------------------------------------------- #
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _warm_imports() -> None:
+    """Worker initializer: pay the heavy imports once per process."""
+    import repro.core.mtmrp  # noqa: F401
+    import repro.mac.csma  # noqa: F401
+    import repro.metrics.collect  # noqa: F401
+    import repro.net.network  # noqa: F401
+    import repro.protocols.dodmrp  # noqa: F401
+    import repro.protocols.gmr  # noqa: F401
+    import repro.protocols.maodv  # noqa: F401
+    import repro.protocols.odmrp  # noqa: F401
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The process-wide executor, created lazily and reused forever.
+
+    Campaigns used to build (and tear down) one pool per sweep point,
+    paying worker spawn + interpreter warmup dozens of times; the shared
+    pool pays it once.  The pool grows if a later call asks for more
+    workers and is otherwise left alone; ``shutdown_pool()`` exists for
+    tests and long-lived embedders.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers, initializer=_warm_imports)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared executor (no-op when none exists)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+def _run_chunk(chunk: List[Tuple[int, SimulationConfig, bool]]) -> list:
+    """Worker-side: run a chunk of configs, isolating per-run failures."""
+    out = []
+    for idx, cfg, warm in chunk:
+        try:
+            out.append((idx, run_single(cfg, warm_start=warm or None), None))
+        except Exception as exc:  # noqa: BLE001 - reported per-run to the parent
+            out.append((idx, None, (repr(exc), _traceback.format_exc())))
+    return out
+
+
+def _chunk_plan(
+    items: List[Tuple[int, SimulationConfig, bool]],
+    workers: int,
+    chunk_size: Optional[int],
+) -> List[List[Tuple[int, SimulationConfig, bool]]]:
+    """Split work into submission chunks.
+
+    Small fast runs drown in per-future IPC when submitted one by one;
+    chunks amortise it.  Auto mode aims for ~4 chunks per worker so the
+    tail stays balanced.  Warm items are grouped by prefix key first, so
+    each worker's snapshot cache sees runs of the same prefix back to
+    back and captures each prefix at most once per process.
+    """
+    if any(w for _i, _c, w in items):
+        items = sorted(
+            items, key=lambda it: (repr(prefix_key(it[1])) if it[2] else "", it[0])
+        )
+    if chunk_size is None:
+        chunk_size = max(1, min(32, len(items) // (workers * 4)))
+    return [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
 def run_many(
     configs: Iterable[SimulationConfig],
     workers: int = 1,
     progress: Optional[Callable[[int, int, RunResult], None]] = None,
+    on_error: str = "raise",
+    warm: Union[bool, str] = False,
+    chunk_size: Optional[int] = None,
+    on_result: Optional[Callable[[int, RunResult], None]] = None,
 ) -> List[RunResult]:
     """Run every config; process-parallel when ``workers > 1``.
 
-    Results keep the order of ``configs``.  With ``workers > 1`` each
-    config is submitted individually and collected as it completes, so
-    memory stays bounded by finished results and ``progress(done, total,
-    result)`` — if given — fires the moment each run lands rather than
-    when the slowest chunk of a ``pool.map`` drains.
+    Results keep the order of ``configs``.  With ``workers > 1`` configs
+    go to the persistent :func:`shared_pool` in chunks (see
+    ``chunk_size``; auto-sized by default) and results stream back as
+    chunks land: ``progress(done, total, result)`` fires per completed
+    run, ``on_result(index, result)`` additionally reports the run's
+    position in ``configs`` (checkpointing callers need the identity,
+    not just the order of completion).
+
+    ``on_error="raise"`` (default) aborts on the first failure with a
+    :class:`RunError` naming the config/seed/index; ``"collect"`` keeps
+    going and leaves the :class:`RunError` in the failed run's result
+    slot (callers filter with ``isinstance``).
+
+    ``warm=True`` forks run prefixes from per-process snapshot caches
+    where profitable (HELLO-phase / dense-channel configs — see
+    :func:`repro.sim.snapshot.warm_profitable`); ``warm="always"``
+    forces forking for every config.  Results are bit-identical either
+    way.
     """
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f'on_error must be "raise" or "collect", got {on_error!r}')
     cfgs = list(configs)
     total = len(cfgs)
+    force = warm == "always"
+    flags = [bool(warm) and (force or warm_profitable(c)) for c in cfgs]
+
     if workers <= 1:
-        results = []
-        for c in cfgs:
-            r = run_single(c)
+        results: List[RunResult] = []
+        for k, c in enumerate(cfgs):
+            try:
+                r = run_single(c, warm_start=flags[k] or None)
+            except Exception as exc:  # noqa: BLE001 - wrapped with run identity
+                err = _run_error(c, k, repr(exc))
+                if on_error == "raise":
+                    raise err from exc
+                r = err
             results.append(r)
+            if on_result is not None:
+                on_result(k, r)
             if progress is not None:
                 progress(len(results), total, r)
         return results
-    results: List[Optional[RunResult]] = [None] * total
+
+    slots: List[Optional[RunResult]] = [None] * total
     done = 0
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(run_single, c): k for k, c in enumerate(cfgs)}
+    pool = shared_pool(workers)
+    items = [(k, c, flags[k]) for k, c in enumerate(cfgs)]
+    futures = [pool.submit(_run_chunk, chunk)
+               for chunk in _chunk_plan(items, workers, chunk_size)]
+    try:
         for fut in as_completed(futures):
-            res = fut.result()
-            results[futures[fut]] = res
-            done += 1
-            if progress is not None:
-                progress(done, total, res)
-    return results  # type: ignore[return-value]
+            for idx, res, failure in fut.result():
+                if failure is not None:
+                    cause, worker_tb = failure
+                    err = _run_error(cfgs[idx], idx, cause, worker_traceback=worker_tb)
+                    if on_error == "raise":
+                        raise err
+                    res = err
+                slots[idx] = res
+                done += 1
+                if on_result is not None:
+                    on_result(idx, res)
+                if progress is not None:
+                    progress(done, total, res)
+    except BaseException:
+        # the pool is persistent: drop undone work, keep the workers
+        for fut in futures:
+            fut.cancel()
+        raise
+    return slots  # type: ignore[return-value]
 
 
 def aggregate(results: Sequence[RunResult], metric: str) -> Dict[str, float]:
-    """Mean / std / standard-error summary of one metric over runs."""
+    """Mean / std / sem / percentile summary of one metric over runs.
+
+    ``p50``/``p95`` use numpy's default linear interpolation; for fault
+    campaigns the tail percentile is the honest summary of recovery
+    latency (means hide the slow tail the paper's reader cares about).
+    """
     if len(results) == 0:
         raise ValueError("no results to aggregate")
     if not hasattr(results[0], metric):
@@ -430,5 +675,7 @@ def aggregate(results: Sequence[RunResult], metric: str) -> Dict[str, float]:
         "mean": float(vals.mean()),
         "std": std,
         "sem": std / float(np.sqrt(vals.size)) if vals.size > 1 else 0.0,
+        "p50": float(np.percentile(vals, 50.0)),
+        "p95": float(np.percentile(vals, 95.0)),
         "n": int(vals.size),
     }

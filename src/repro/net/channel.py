@@ -383,10 +383,15 @@ class Channel:
                 self._nbr_powers[node_id].tolist(),
             )
         else:
+            # one fancy-indexed gather + tolist() instead of a python
+            # loop of scalar indexing — same IEEE-754 bits per element,
+            # ~an order of magnitude faster at dense fan-outs
+            ids = self.neighbor_ids[node_id]
             pd, rx = self._prop_delays, self._rx_power
-            triples = (
-                (int(nbr), float(pd[node_id, nbr]), float(rx[node_id, nbr]))
-                for nbr in self.neighbor_ids[node_id]
+            triples = zip(
+                ids.tolist(),
+                pd[node_id, ids].tolist(),
+                rx[node_id, ids].tolist(),
             )
         if nodes:
             dl = [(n, d, p, radios[n], nodes[n]) for n, d, p in triples]
@@ -445,12 +450,14 @@ class Channel:
                     for nbr, delay, power, radio, rnode in delivery
                 ]
         else:
+            # batch the loss draws over the whole delivery list (the
+            # i.i.d. model vectorises; others fall back to the scalar
+            # loop inside frame_lost_batch, draw-for-draw identical)
+            live = [e for e in delivery if e[4] is None or e[4].is_active]
+            fates = loss.frame_lost_batch(node_id, [e[0] for e in live])
             entries = [
-                (delay, arrive,
-                 (radio, rnode, nbr, packet, power, duration,
-                  loss.frame_lost(node_id, nbr)))
-                for nbr, delay, power, radio, rnode in delivery
-                if rnode is None or rnode.is_active
+                (delay, arrive, (radio, rnode, nbr, packet, power, duration, lost))
+                for (nbr, delay, power, radio, rnode), lost in zip(live, fates)
             ]
         sim.schedule_many(entries)
 

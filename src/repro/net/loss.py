@@ -23,7 +23,7 @@ stochastic component.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,18 @@ class LossModel:
     def frame_lost(self, src: int, dst: int) -> bool:  # pragma: no cover - abstract
         """Is the frame ``src -> dst`` erased?  Called once per arrival."""
         raise NotImplementedError
+
+    def frame_lost_batch(self, src: int, dsts: Sequence[int]) -> List[bool]:
+        """Fate of one broadcast frame at every receiver in ``dsts``.
+
+        The channel evaluates a sender's whole delivery list per frame;
+        models that can vectorise override this (see :class:`IidLoss`).
+        The contract is *bit-equivalence* with ``[frame_lost(src, d) for
+        d in dsts]`` — same rng draws in the same order — so traces are
+        identical whichever entry point the channel uses.
+        """
+        lost = self.frame_lost
+        return [lost(src, d) for d in dsts]
 
     def expected_loss(self) -> float:  # pragma: no cover - abstract
         """Long-run per-frame loss probability (for calibration/tests)."""
@@ -57,6 +69,24 @@ class IidLoss(LossModel):
         if self.p >= 1.0:
             return True
         return float(self.rng.random()) < self.p
+
+    def frame_lost_batch(self, src: int, dsts: Sequence[int]) -> List[bool]:
+        """Vectorised i.i.d. erasures over one delivery list.
+
+        ``Generator.random(n)`` consumes the identical doubles ``n``
+        scalar ``random()`` calls would (both pull ``next_double`` off
+        the bit stream sequentially), so this is bit-equivalent to the
+        scalar loop — asserted by ``tests/net/test_loss.py``.
+        """
+        n = len(dsts)
+        if self.p <= 0.0:
+            return [False] * n
+        if self.p >= 1.0:
+            return [True] * n
+        if n == 1:
+            # vector setup costs more than one scalar draw
+            return [float(self.rng.random()) < self.p]
+        return (self.rng.random(n) < self.p).tolist()
 
     def expected_loss(self) -> float:
         return self.p

@@ -1,0 +1,357 @@
+"""Warm-state snapshot/fork engine for campaign-scale execution.
+
+Every Monte-Carlo run pays a *prefix* — topology build, channel
+construction, receiver draw and (optionally) the simulated HELLO warmup —
+before the part that actually varies across a sweep (protocol agents,
+backoff parameters, the discovery/data phases).  The prefix is a pure
+function of a subset of the :class:`~repro.experiments.config.
+SimulationConfig` fields (see :func:`prefix_key`), so paired designs that
+sweep protocol or tuning parameters at a *fixed seed* recompute an
+identical prefix once per run.
+
+:class:`WarmSnapshot` captures the complete live state at the prefix
+boundary — kernel clock + event heap, every node/MAC/radio, the channel's
+cached geometry, all per-``(seed, key)`` rng generator states, the trace
+prefix, and the packet-uid counter — as one pickled blob.  :meth:`~
+WarmSnapshot.fork` then materialises an independent deep copy per run:
+bound methods in the event heap rebind to the copied objects, generators
+resume mid-stream, and the uid counter restarts at the capture point, so
+a warm continuation is *bit-identical* to a cold run (enforced by the
+golden sha256 trace digests in ``tests/integration`` and the corpus
+replay tests).
+
+Validity: a snapshot may be reused by any config whose :func:`prefix_key`
+matches.  Fields that only act after the boundary — ``protocol`` (except
+the geographic bit), ``backoff_n``/``backoff_w``, ``construction_time``,
+``data_time`` — are deliberately excluded from the key; everything the
+prefix consumed (seed, topology, channel, loss model, HELLO timing) is
+included.  Runs under a :class:`repro.check.CheckHarness` never use
+snapshots (the harness wraps ``trace.emit`` before network construction).
+
+Cost model: a fork is one ``pickle.loads`` (a few ms for the paper's
+deployments) while a cold prefix costs up to hundreds of ms with a HELLO
+warmup — but for small static-bootstrap runs the cold build is *cheaper*
+than a fork, so campaign drivers gate warm starts on
+:func:`warm_profitable`.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from collections import OrderedDict
+from typing import TYPE_CHECKING, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.trace import TraceKind, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import SimulationConfig
+    from repro.net.network import Network
+    from repro.sim.kernel import Simulator
+
+__all__ = [
+    "WarmSnapshot",
+    "SnapshotCache",
+    "ForkedPrefix",
+    "prefix_key",
+    "build_prefix",
+    "absorb_trace",
+    "default_trace_kinds",
+    "warm_profitable",
+]
+
+#: Config fields the prefix consumes — the reuse key.  ``protocol`` is
+#: excluded on purpose (it only selects the agents installed *after* the
+#: boundary) except for its geographic bit, which changes what the
+#: HELLO/bootstrap phase records (neighbor positions).
+_PREFIX_FIELDS: Tuple[str, ...] = (
+    "topology",
+    "side",
+    "grid_nx",
+    "grid_ny",
+    "random_nodes",
+    "comm_range",
+    "seed",
+    "source",
+    "group",
+    "group_size",
+    "mac",
+    "perfect_channel",
+    "shadowing_sigma_db",
+    "loss_model",
+    "loss_rate",
+    "ge_p_good_bad",
+    "ge_p_bad_good",
+    "hello_phase",
+    "hello_period",
+    "hello_warmup",
+    "keep_rx_records",
+)
+
+
+def default_trace_kinds(cfg: "SimulationConfig") -> set:
+    """The record kinds a plain metrics run needs (mirrors ``run_single``)."""
+    kinds = {TraceKind.TX, TraceKind.DELIVER, TraceKind.MARK, TraceKind.NOTE}
+    if cfg.keep_rx_records:
+        kinds.add(TraceKind.RX)
+    return kinds
+
+
+def _trace_signature(trace: Optional[TraceRecorder], cfg: "SimulationConfig") -> tuple:
+    """What the capture recorder must look like to serve this request."""
+    if trace is None:
+        return (frozenset(default_trace_kinds(cfg)), False)
+    enabled = trace._enabled
+    return (frozenset(enabled) if enabled is not None else None, trace.counters_only)
+
+
+def prefix_key(cfg: "SimulationConfig", trace: Optional[TraceRecorder] = None) -> tuple:
+    """Hashable identity of the prefix a run under ``cfg`` would build.
+
+    Two configs with equal keys build bit-identical prefix state, so a
+    single :class:`WarmSnapshot` serves both.  The key folds in the trace
+    recorder shape (enabled kinds, counters-only) because the captured
+    recorder rides inside the snapshot.
+    """
+    fields = tuple(getattr(cfg, f) for f in _PREFIX_FIELDS)
+    return fields + (cfg.protocol == "gmr", _trace_signature(trace, cfg))
+
+
+def warm_profitable(cfg: "SimulationConfig") -> bool:
+    """Is forking a snapshot expected to beat a cold prefix build?
+
+    A fork unpickles the whole deployment (~the cost of building it),
+    so it only wins when the prefix includes simulated work — the HELLO
+    warmup — or an expensive geometry build (dense stochastic channel,
+    large deployments).  Static-bootstrap runs at the paper's sizes build
+    faster cold.
+    """
+    return bool(cfg.hello_phase or cfg.shadowing_sigma_db > 0.0 or cfg.n_nodes >= 1000)
+
+
+class ForkedPrefix(NamedTuple):
+    """One independent live continuation point produced by ``fork()``."""
+
+    sim: "Simulator"
+    net: "Network"
+    receivers: List[int]
+    positions: np.ndarray
+
+
+def build_prefix(
+    cfg: "SimulationConfig",
+    trace: Optional[TraceRecorder] = None,
+    attach=None,
+) -> ForkedPrefix:
+    """Build a deployment up to the snapshot boundary (cold path).
+
+    Everything up to — and including — neighbor discovery: topology,
+    channel, receiver draw, then either the simulated HELLO warmup
+    (``cfg.hello_phase``, HELLO agents started) or the static bootstrap
+    fixed point.  Protocol agents are *not* installed; their ``start()``
+    is a no-op and they handle no HELLO traffic, so installing them after
+    the boundary is trace-identical to the historical single-pass build.
+
+    ``attach(sim)`` — when given — runs right after kernel creation,
+    before the channel caches ``trace.emit`` (the check-harness hook;
+    such runs are never snapshotted).
+    """
+    from repro.experiments.config import make_loss_model, make_positions
+    from repro.mac.csma import CsmaMac
+    from repro.mac.ideal import IdealMac
+    from repro.net.network import Network
+    from repro.sim.kernel import Simulator
+
+    if trace is None:
+        trace = TraceRecorder(enabled_kinds=default_trace_kinds(cfg))
+    sim = Simulator(seed=cfg.seed, trace=trace)
+    if attach is not None:
+        attach(sim)
+    positions = make_positions(cfg, sim.rng.stream("topology"))
+    perfect = cfg.perfect_channel or cfg.mac == "ideal"
+    mac_factory = IdealMac if cfg.mac == "ideal" else CsmaMac
+    propagation = None
+    if cfg.shadowing_sigma_db > 0.0:
+        from repro.phy.propagation import LogDistance
+
+        # Median-matched to the paper's TwoRayGround (Pt*(ht*hr)^2/d^4):
+        # identical nominal range, plus quasi-static log-normal fading —
+        # the effect Sec. V-A explicitly disables, kept here as an
+        # ablation substrate.
+        propagation = LogDistance(
+            reference_distance=1.0,
+            reference_power_factor=(1.5 * 1.5) ** 2,
+            path_loss_exponent=4.0,
+            shadowing_sigma_db=cfg.shadowing_sigma_db,
+            rng=sim.rng.stream("shadowing"),
+        )
+    net = Network(
+        sim,
+        positions,
+        comm_range=cfg.comm_range,
+        mac_factory=mac_factory,
+        perfect_channel=perfect,
+        propagation=propagation,
+        loss=make_loss_model(cfg, sim.rng.stream("loss")),
+    )
+
+    recv_rng = sim.rng.stream("receivers")
+    candidates = np.arange(0, cfg.n_nodes)
+    candidates = candidates[candidates != cfg.source]
+    receivers = recv_rng.choice(candidates, size=cfg.group_size, replace=False)
+    receivers = [int(r) for r in receivers]
+    net.set_group_members(cfg.group, receivers)
+
+    geographic = cfg.protocol == "gmr"
+    if cfg.hello_phase:
+        net.install_hello(period=cfg.hello_period, share_position=geographic)
+        # start only the HELLO agents (all that exist before the boundary);
+        # protocol agents are started individually by the suffix
+        for node in net.nodes:
+            node.start_agents()
+        sim.run(until=cfg.hello_warmup)
+    else:
+        net.bootstrap_neighbor_tables(with_positions=geographic)
+    return ForkedPrefix(sim, net, receivers, positions)
+
+
+class WarmSnapshot:
+    """Frozen prefix state; :meth:`fork` yields independent live copies.
+
+    The captured object graph is serialised immediately (one blob), so
+    the snapshot itself can never be mutated by a continuation and every
+    fork is a fresh materialisation.  Object graphs that refuse to pickle
+    (exotic user extensions) fall back to per-fork ``copy.deepcopy`` of a
+    private live copy.
+    """
+
+    __slots__ = ("key", "uid_base", "uid_end", "n_forks", "_blob", "_live")
+
+    def __init__(self, key: tuple, uid_base: int, uid_end: int,
+                 blob: Optional[bytes], live: Optional[ForkedPrefix]) -> None:
+        self.key = key
+        #: packet-uid counter value when the capture build began
+        self.uid_base = uid_base
+        #: counter value at the boundary — every fork resumes here
+        self.uid_end = uid_end
+        self.n_forks = 0
+        self._blob = blob
+        self._live = live
+
+    @classmethod
+    def capture(
+        cls,
+        cfg: "SimulationConfig",
+        trace: Optional[TraceRecorder] = None,
+    ) -> "WarmSnapshot":
+        """Build ``cfg``'s prefix cold and freeze it at the boundary.
+
+        ``trace`` only donates its *shape* (enabled kinds/counters-only);
+        the capture runs on a private recorder whose prefix records are
+        replayed into each fork.  Callers holding an external recorder
+        get the records back via :func:`absorb_trace`.
+        """
+        from repro.net.packet import current_uid
+
+        key = prefix_key(cfg, trace)
+        enabled, counters_only = _trace_signature(trace, cfg)
+        recorder = TraceRecorder(
+            enabled_kinds=enabled, counters_only=counters_only
+        )
+        uid_base = current_uid()
+        prefix = build_prefix(cfg, trace=recorder)
+        uid_end = current_uid()
+        try:
+            blob = pickle.dumps(tuple(prefix), protocol=pickle.HIGHEST_PROTOCOL)
+            live = None
+        except Exception:
+            blob = None
+            live = prefix  # never run further; deepcopied per fork
+        return cls(key, uid_base, uid_end, blob, live)
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized snapshot size (0 on the deepcopy fallback)."""
+        return len(self._blob) if self._blob is not None else 0
+
+    def fork(self) -> ForkedPrefix:
+        """Materialise an independent continuation of the captured state.
+
+        Restores the process-global packet-uid counter to the boundary
+        value, so the continuation assigns the same uids a cold run from
+        the same base would.  Forks share nothing mutable with each other
+        or with the snapshot (asserted by ``tests/sim/test_snapshot.py``).
+        """
+        from repro.net.packet import reset_uids
+
+        if self._blob is not None:
+            sim, net, receivers, positions = pickle.loads(self._blob)
+        else:
+            sim, net, receivers, positions = copy.deepcopy(tuple(self._live))
+        self.n_forks += 1
+        reset_uids(self.uid_end)
+        return ForkedPrefix(sim, net, receivers, positions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "pickle" if self._blob is not None else "deepcopy"
+        return (
+            f"WarmSnapshot(uids={self.uid_base}..{self.uid_end}, "
+            f"forks={self.n_forks}, via={mode}, {self.size_bytes / 1e6:.2f} MB)"
+        )
+
+
+def absorb_trace(target: TraceRecorder, source: TraceRecorder) -> None:
+    """Append ``source``'s records/counters to ``target`` (warm-run glue).
+
+    A warm run executes on the fork's private recorder; callers that
+    passed an external recorder to ``run_single`` receive the full trace
+    (prefix + continuation) through this append.  Append-only, so the
+    target's lazy indexes stay valid and simply extend on next query.
+    """
+    target.records.extend(source.records)
+    target.counts.update(source.counts)
+
+
+class SnapshotCache:
+    """Small LRU of :class:`WarmSnapshot` keyed by :func:`prefix_key`.
+
+    Snapshots hold whole serialized deployments, so the cache is bounded
+    (``max_entries``); sweeps grouped by seed evict cleanly as they move
+    through the campaign.  One instance per process is plenty — worker
+    processes each grow their own (see ``runner._process_snapshots``).
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("SnapshotCache needs room for at least one entry")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, WarmSnapshot]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_capture(
+        self,
+        cfg: "SimulationConfig",
+        trace: Optional[TraceRecorder] = None,
+    ) -> WarmSnapshot:
+        """The snapshot serving ``cfg`` (captured cold on first miss)."""
+        key = prefix_key(cfg, trace)
+        snap = self._entries.get(key)
+        if snap is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return snap
+        self.misses += 1
+        snap = WarmSnapshot.capture(cfg, trace=trace)
+        self._entries[key] = snap
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return snap
+
+    def clear(self) -> None:
+        self._entries.clear()

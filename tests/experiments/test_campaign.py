@@ -62,3 +62,17 @@ def test_file_is_json_lines(tmp_path):
     assert len(lines) == 2
     for line in lines:
         json.loads(line)  # every line is standalone JSON
+
+
+def test_parallel_warm_campaign_matches_serial(tmp_path):
+    cfgs = monte_carlo(SimulationConfig(protocol="mtmrp", topology="grid", group_size=10), 5, 321)
+    serial, parallel = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+    run_campaign(cfgs, serial, workers=1, warm=False)
+    run_campaign(cfgs, parallel, workers=2, warm=True)
+    idx_s, recs_s = load_campaign(serial)
+    idx_p, recs_p = load_campaign(parallel)
+    assert idx_s == idx_p and len(recs_p) == 5
+    # checkpoints are complete: a rerun finds nothing to do
+    before = parallel.read_text()
+    run_campaign(cfgs, parallel, workers=2, warm=True)
+    assert parallel.read_text() == before

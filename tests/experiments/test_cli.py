@@ -1,5 +1,7 @@
 """Tests for the command-line entry point."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main
@@ -36,3 +38,40 @@ def test_fig5_tiny(capsys, monkeypatch):
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+class TestBenchGate:
+    def test_compare_to_baseline_flags_only_regressions(self, tmp_path):
+        from repro.experiments.bench import compare_to_baseline
+
+        baseline = tmp_path / "BENCH_core.json"
+        baseline.write_text(json.dumps({"benchmarks": {
+            "fast_path": {"wall_s": 0.100},
+            "memory": {"peak_mb": 10.0},
+            "retired_workload": {"wall_s": 1.0},
+        }}))
+        results = {
+            "fast_path": {"wall_s": 0.120},      # +20%: inside the gate
+            "memory": {"peak_mb": 14.0},          # +40%: regression
+            "brand_new_workload": {"wall_s": 5.0},  # no baseline: skipped
+        }
+        regs = compare_to_baseline(results, baseline, threshold=0.25)
+        assert [r[0] for r in regs] == ["memory"]
+        name, base, cur, ratio = regs[0]
+        assert (base, cur) == (10.0, 14.0) and ratio == pytest.approx(1.4)
+        assert compare_to_baseline(results, baseline, threshold=0.5) == []
+
+    def test_append_history_grows_one_row_per_run(self, tmp_path):
+        from repro.experiments.bench import append_history
+
+        hist = tmp_path / "BENCH_history.jsonl"
+        results = {"fast_path": {"wall_s": 0.1, "ops_per_s": 10.0, "speedup": 2.0,
+                                 "baseline_wall_s": 0.2}}
+        append_history(results, hist, note="first")
+        append_history(results, hist, note="second")
+        rows = [json.loads(line) for line in hist.read_text().splitlines()]
+        assert [r["note"] for r in rows] == ["first", "second"]
+        entry = rows[0]["benchmarks"]["fast_path"]
+        # headline fields only — raw baselines live in BENCH_core.json
+        assert entry == {"wall_s": 0.1, "ops_per_s": 10.0, "speedup": 2.0}
+        assert all("ts" in r for r in rows)

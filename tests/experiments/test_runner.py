@@ -1,12 +1,16 @@
 """Tests for the Monte-Carlo runner."""
 
+import copy
+
 import numpy as np
 import pytest
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.runner import (
+    RunError,
     RunResult,
     aggregate,
+    config_hash,
     monte_carlo,
     run_many,
     run_single,
@@ -162,3 +166,96 @@ class TestAggregate:
         results = run_many(monte_carlo(cfg, 1, batch_seed=2))
         agg = aggregate(results, "data_transmissions")
         assert agg["std"] == 0.0 == agg["sem"]
+
+
+def _poison(cfg):
+    """A config that passes validation but explodes inside the run.
+
+    The config layer rejects bad values at construction, so runtime
+    failures (simulator bugs, corrupted checkpoints) are emulated by
+    bypassing ``__post_init__`` — pickle round-trips preserve the field,
+    so the failure reproduces identically inside worker processes.
+    """
+    bad = copy.copy(cfg)
+    object.__setattr__(bad, "group_size", 10_000)  # > n_nodes
+    return bad
+
+
+class TestFailureIsolation:
+    def test_run_error_names_the_failing_run(self):
+        good = monte_carlo(SimulationConfig(protocol="mtmrp", **FAST), 2, 7)
+        bad = _poison(good[1])
+        with pytest.raises(RunError) as exc_info:
+            run_many([good[0], bad])
+        err = exc_info.value
+        assert err.index == 1
+        assert err.config == bad
+        assert err.seed == bad.seed
+        assert err.config_hash == config_hash(bad)
+        assert "ValueError" in str(err)
+
+    def test_collect_mode_keeps_the_campaign_running(self):
+        cfgs = monte_carlo(SimulationConfig(protocol="mtmrp", **FAST), 3, 7)
+        cfgs[1] = _poison(cfgs[1])
+        results = run_many(cfgs, on_error="collect")
+        assert isinstance(results[0], RunResult)
+        assert isinstance(results[1], RunError) and results[1].index == 1
+        assert isinstance(results[2], RunResult)
+
+    def test_collect_mode_parallel_keeps_worker_traceback(self):
+        cfgs = monte_carlo(SimulationConfig(protocol="mtmrp", **FAST), 4, 7)
+        cfgs[2] = _poison(cfgs[2])
+        results = run_many(cfgs, workers=2, on_error="collect")
+        err = results[2]
+        assert isinstance(err, RunError)
+        assert err.worker_traceback and "Traceback" in err.worker_traceback
+        # the healthy runs around the failure are untouched
+        serial = run_many([c for i, c in enumerate(cfgs) if i != 2])
+        assert [r for i, r in enumerate(results) if i != 2] == serial
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_many([], on_error="ignore")
+
+
+class TestOnResult:
+    def test_reports_config_identity_not_completion_order(self):
+        cfgs = monte_carlo(SimulationConfig(protocol="mtmrp", **FAST), 5, 11)
+        seen = {}
+        results = run_many(cfgs, workers=2, on_result=lambda i, r: seen.setdefault(i, r))
+        assert sorted(seen) == list(range(5))
+        assert [seen[i] for i in range(5)] == results
+
+
+class TestWarmRunMany:
+    def test_warm_matches_cold_serial_and_parallel(self):
+        base = SimulationConfig(
+            protocol="mtmrp", topology="grid", group_size=10, mac="csma",
+            hello_phase=True, hello_warmup=1.0, data_time=0.5,
+        )
+        cfgs = [base.with_(backoff_w=w) for w in (0.001, 0.01)]
+        cfgs += [c.with_(protocol="odmrp") for c in cfgs]
+        cold = run_many(cfgs)
+        assert run_many(cfgs, warm=True) == cold
+        assert run_many(cfgs, warm="always") == cold
+        assert run_many(cfgs, workers=2, warm=True) == cold
+
+
+class TestAggregatePercentiles:
+    def test_p50_p95(self):
+        results = [
+            RunResult(
+                protocol="mtmrp", topology="grid", group_size=10, seed=i,
+                backoff_n=4.0, backoff_w=0.001,
+                data_transmissions=i, tree_transmissions=0, extra_nodes=0,
+                average_relay_profit=0.0, delivered=0, delivery_ratio=1.0,
+                covered_receivers=0, join_query_tx=0, join_reply_tx=0,
+                hello_tx=0, collisions=0, energy_joules=0.0,
+            )
+            for i in range(1, 101)
+        ]
+        agg = aggregate(results, "data_transmissions")
+        assert agg["p50"] == pytest.approx(50.5)
+        assert agg["p95"] == pytest.approx(95.05)
+        assert agg["n"] == 100
+        assert set(agg) == {"mean", "std", "sem", "p50", "p95", "n"}

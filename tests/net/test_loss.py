@@ -124,3 +124,39 @@ def test_dead_sender_mac_transmission_is_suppressed():
     sim.run(until=2.0)
     assert net.channel.frames_suppressed >= 1
     assert not list(sim.trace.filter(kind=TraceKind.TX, node=0))
+
+
+def test_batch_draws_are_bit_equivalent_to_scalar_loop():
+    """``frame_lost_batch`` must consume the rng exactly like the loop.
+
+    The channel batches loss draws over a sender's whole delivery list;
+    the vectorised i.i.d. path relies on ``Generator.random(n)`` pulling
+    the identical doubles ``n`` scalar calls would.
+    """
+    for n in (1, 2, 7, 64):
+        a = IidLoss(0.3, np.random.default_rng(42))
+        b = IidLoss(0.3, np.random.default_rng(42))
+        dsts = list(range(n))
+        batch = a.frame_lost_batch(0, dsts)
+        scalar = [b.frame_lost(0, d) for d in dsts]
+        assert batch == scalar
+        # and the generators end in the same place: interleaving batch and
+        # scalar calls stays aligned too
+        assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+
+def test_batch_default_falls_back_to_scalar_path():
+    a = GilbertElliott(rng=np.random.default_rng(7))
+    b = GilbertElliott(rng=np.random.default_rng(7))
+    dsts = list(range(12))
+    assert a.frame_lost_batch(0, dsts) == [b.frame_lost(0, d) for d in dsts]
+    assert a._bad == b._bad
+
+
+def test_batch_extremes_skip_the_rng():
+    never = IidLoss(0.0, np.random.default_rng(1))
+    always = IidLoss(1.0, np.random.default_rng(1))
+    state = never.rng.bit_generator.state
+    assert never.frame_lost_batch(0, [1, 2, 3]) == [False, False, False]
+    assert always.frame_lost_batch(0, [1, 2, 3]) == [True, True, True]
+    assert never.rng.bit_generator.state == state
