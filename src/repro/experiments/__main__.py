@@ -219,6 +219,12 @@ def _run_check(args) -> None:
     run_check(args)
 
 
+def _run_obs(args) -> None:
+    from repro.experiments.obs import run_obs
+
+    run_obs(args)
+
+
 COMMANDS = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -232,11 +238,12 @@ COMMANDS = {
     "bench": _run_bench,
     "scaling": _run_scaling,
     "check": _run_check,
+    "obs": _run_obs,
 }
 
 #: Utility commands excluded from ``all`` (they measure the machine, not
 #: the paper).
-_NON_FIGURE = {"bench", "scaling", "check"}
+_NON_FIGURE = {"bench", "scaling", "check", "obs"}
 
 
 def main(argv=None) -> int:
@@ -286,6 +293,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--sizes", type=int, nargs="*", default=None,
         help="scaling: deployment sizes to sweep (default 200 500 1000 2000)",
+    )
+    parser.add_argument(
+        "--obs-out", default="results/obs",
+        help="obs: directory for telemetry exports (Prometheus/JSONL/Chrome-trace)",
+    )
+    parser.add_argument(
+        "--obs-window", type=float, default=0.25,
+        help="obs: sampler window in simulated seconds",
+    )
+    parser.add_argument(
+        "--obs-protocol", default="mtmrp",
+        help="obs: protocol to observe (mtmrp, odmrp, dodmrp, maodv, gmr)",
     )
     args = parser.parse_args(argv)
 

@@ -143,6 +143,22 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
         1,
     )
 
+    # -- the same round with an Observer attached ------------------------ #
+    # Counters + spans + 0.25 s sampling windows; the delta against
+    # full_mtmrp_round_grid is the observability tax, bounded at <=10%
+    # by tests/obs/test_overhead.py.
+    from repro.obs import Observer
+
+    def observed_round() -> None:
+        run_single(cfg, cache=False, obs=Observer(window=0.25))
+
+    observed_round()  # warm the obs imports outside the timed region
+    record(
+        "full_mtmrp_round_grid_obs",
+        _best_of(observed_round, 3 if fast else 5, 1),
+        1,
+    )
+
     # -- trace queries over 50k stored records -------------------------- #
     tr = TraceRecorder()
     for i in range(50_000):
@@ -217,7 +233,8 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
         out = []
         for cfgs in points:
             with ProcessPoolExecutor(max_workers=2, initializer=_warm_imports) as pool:
-                futs = [pool.submit(_run_chunk, [(i, c, False)]) for i, c in enumerate(cfgs)]
+                futs = [pool.submit(_run_chunk, [(i, c, False, None)])
+                        for i, c in enumerate(cfgs)]
                 out.extend(fut.result()[0][1] for fut in futs)
         return out
 

@@ -14,6 +14,7 @@ by digesting the full trace into ``trace_sha256``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -219,8 +220,23 @@ def fault_sweep(
         recov = [r.recovery_latency for r in results if r.recovery_latency is not None]
         # ``aggregate`` duck-types on attribute access, so it summarises
         # FaultRunResult batches too (recovery latency is summarised by
-        # hand: None means "never recovered" and must not enter the stats)
+        # hand: None means "never recovered" and must not enter the stats).
+        # Percentile keys are always present; with fewer than two
+        # recovered replicates they are NaN — a percentile of one sample
+        # is not an estimate, and dropping the keys broke downstream
+        # tables that expect a fixed schema.
         delivery = aggregate(results, "delivery_ratio")
+        if len(recov) >= 2:
+            recovery_p50 = float(np.percentile(recov, 50.0))
+            recovery_p95 = float(np.percentile(recov, 95.0))
+        else:
+            if len(recov) == 1:
+                warnings.warn(
+                    f"fault_sweep({proto!r}): only one recovered replicate; "
+                    "recovery_p50/p95 set to NaN (run more replicates)",
+                    stacklevel=2,
+                )
+            recovery_p50 = recovery_p95 = float("nan")
         out[proto] = {
             "delivery_ratio": delivery["mean"],
             "delivery_p50": delivery["p50"],
@@ -228,8 +244,8 @@ def fault_sweep(
             "pre_fault_delivery": float(np.mean([r.pre_fault_delivery for r in results])),
             "post_fault_delivery": float(np.mean([r.post_fault_delivery for r in results])),
             "recovery_latency": float(np.mean(recov)) if recov else float("nan"),
-            "recovery_p50": float(np.percentile(recov, 50.0)) if recov else float("nan"),
-            "recovery_p95": float(np.percentile(recov, 95.0)) if recov else float("nan"),
+            "recovery_p50": recovery_p50,
+            "recovery_p95": recovery_p95,
             "recovered_runs": float(len(recov)) / len(results),
             "crashes": float(np.mean([r.crashes for r in results])),
             "frames_lost": float(np.mean([r.frames_lost for r in results])),

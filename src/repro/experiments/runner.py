@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import traceback as _traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -164,6 +165,7 @@ def run_single(
     cache: Union[None, bool, str, Path] = None,
     check=None,
     warm_start: Union[None, bool, SnapshotCache, WarmSnapshot] = None,
+    obs=None,
 ) -> RunResult:
     """Execute one multicast round under ``cfg`` and collect all metrics.
 
@@ -195,6 +197,15 @@ def run_single(
         scopes reuse to the caller; a :class:`WarmSnapshot` must match
         this config's :func:`~repro.sim.snapshot.prefix_key`.  Ignored
         for checked runs (the harness hooks the build sequence).
+    obs:
+        Optional :class:`repro.obs.Observer` attached for the whole run:
+        counters, protocol-phase spans (prefix-build, hello-warmup,
+        route-discovery, data-delivery) and windowed samples.  The
+        observer reads state only, so the trace is bit-identical with or
+        without it.  Observed runs are never cached and never warm-start
+        (observer state isn't part of a snapshot); ``obs.finish()`` is
+        called before returning.  ``obs is None`` (the default) executes
+        zero observability code.
     """
     cache_dir: Optional[Path]
     if cache is False:
@@ -204,7 +215,11 @@ def run_single(
     else:
         cache_dir = Path(cache)
     cacheable = (
-        cache_dir is not None and not keep_positions and trace is None and check is None
+        cache_dir is not None
+        and not keep_positions
+        and trace is None
+        and check is None
+        and obs is None
     )
     if cacheable:
         cache_path = cache_dir / f"{config_hash(cfg)}.json"
@@ -212,7 +227,7 @@ def run_single(
         if cached is not None:
             return cached
 
-    warm = _resolve_warm(warm_start) if check is None else None
+    warm = _resolve_warm(warm_start) if check is None and obs is None else None
 
     # Pause cyclic GC across build + run + metrics: network assembly
     # allocates tens of thousands of containers whose churn triggers
@@ -226,7 +241,7 @@ def run_single(
             result = _execute_warm(cfg, warm, keep_positions=keep_positions, trace=trace)
         else:
             result = _execute_run(
-                cfg, keep_positions=keep_positions, trace=trace, check=check
+                cfg, keep_positions=keep_positions, trace=trace, check=check, obs=obs
             )
     finally:
         if gc_was_enabled:
@@ -295,14 +310,21 @@ def _execute_run(
     keep_positions: bool = False,
     trace: Optional[TraceRecorder] = None,
     check=None,
+    obs=None,
 ) -> RunResult:
     """Build the network, run the round, and collect metrics (no caching)."""
     if trace is None:
         trace = TraceRecorder(enabled_kinds=_trace_kinds(cfg))
-    # the harness attaches right after kernel creation — before the
+    # harness/observer attach right after kernel creation — before the
     # channel caches trace.emit
-    attach = (lambda sim: check.attach(sim, context=cfg)) if check is not None else None
-    prefix = build_prefix(cfg, trace=trace, attach=attach)
+    attach = None
+    if check is not None or obs is not None:
+        def attach(sim):
+            if check is not None:
+                check.attach(sim, context=cfg)
+            if obs is not None:
+                obs.attach(sim, context=cfg)
+    prefix = build_prefix(cfg, trace=trace, attach=attach, obs=obs)
     return _run_suffix(
         cfg,
         prefix.sim,
@@ -311,6 +333,7 @@ def _execute_run(
         prefix.positions,
         keep_positions,
         check=check,
+        obs=obs,
     )
 
 
@@ -322,6 +345,7 @@ def _run_suffix(
     positions: np.ndarray,
     keep_positions: bool = False,
     check=None,
+    obs=None,
 ) -> RunResult:
     """Install the protocol agents and run the discovery/data phases.
 
@@ -340,30 +364,50 @@ def _run_suffix(
 
     if check is not None:
         check.bind_network(net, agents, cfg.source, cfg.group, receivers)
+    if obs is not None:
+        obs.bind_network(net, receivers)
 
     source_agent = agents[cfg.source]
     t0 = sim.now
     settle = cfg.effective_construction_time
     if cfg.protocol == "flooding":
+        if obs is not None:
+            obs.spans.begin("data-delivery", sim, protocol=cfg.protocol)
         source_agent.originate(cfg.group, 0)
         sim.run(until=t0 + settle + cfg.data_time)
+        if obs is not None:
+            obs.spans.end(sim)
     elif geographic:
         # stateless: no construction phase; the packet carries the
         # destination positions (the GMR assumption set)
+        if obs is not None:
+            obs.spans.begin("data-delivery", sim, protocol=cfg.protocol)
         source_agent.multicast(
             cfg.group, {d: net.node(d).position for d in receivers}, seq=0
         )
         sim.run(until=t0 + settle + cfg.data_time)
+        if obs is not None:
+            obs.spans.end(sim)
     else:
+        if obs is not None:
+            obs.spans.begin("route-discovery", sim, protocol=cfg.protocol)
         source_agent.request_route(cfg.group)
         sim.run(until=t0 + settle)
+        if obs is not None:
+            obs.spans.end(sim)
         if check is not None:
             check.checkpoint("route-discovery")
+        if obs is not None:
+            obs.spans.begin("data-delivery", sim, protocol=cfg.protocol)
         source_agent.send_data(cfg.group, 0)
         sim.run(until=t0 + settle + cfg.data_time)
+        if obs is not None:
+            obs.spans.end(sim)
 
     if check is not None:
         check.checkpoint("end-of-run")
+    if obs is not None:
+        obs.finish()
 
     if cfg.protocol == "flooding":
         m = _flooding_metrics(net, cfg, receivers)
@@ -541,22 +585,35 @@ def shutdown_pool() -> None:
         _POOL_WORKERS = 0
 
 
-def _run_chunk(chunk: List[Tuple[int, SimulationConfig, bool]]) -> list:
-    """Worker-side: run a chunk of configs, isolating per-run failures."""
+def _run_chunk(chunk: List[Tuple[int, SimulationConfig, bool, Optional[float]]]) -> list:
+    """Worker-side: run a chunk of configs, isolating per-run failures.
+
+    Each item is ``(index, config, warm, sample_window)``; a non-None
+    window attaches an :class:`repro.obs.Observer` and ships the sampled
+    windows back as the 4th slot of the result tuple (samples are plain
+    NamedTuples, so they pickle cheaply).
+    """
     out = []
-    for idx, cfg, warm in chunk:
+    for idx, cfg, warm, window in chunk:
         try:
-            out.append((idx, run_single(cfg, warm_start=warm or None), None))
+            if window is not None:
+                from repro.obs import Observer
+
+                ob = Observer(window=window)
+                res = run_single(cfg, obs=ob)
+                out.append((idx, res, None, ob.samples))
+            else:
+                out.append((idx, run_single(cfg, warm_start=warm or None), None, None))
         except Exception as exc:  # noqa: BLE001 - reported per-run to the parent
-            out.append((idx, None, (repr(exc), _traceback.format_exc())))
+            out.append((idx, None, (repr(exc), _traceback.format_exc()), None))
     return out
 
 
 def _chunk_plan(
-    items: List[Tuple[int, SimulationConfig, bool]],
+    items: List[Tuple[int, SimulationConfig, bool, Optional[float]]],
     workers: int,
     chunk_size: Optional[int],
-) -> List[List[Tuple[int, SimulationConfig, bool]]]:
+) -> List[List[Tuple[int, SimulationConfig, bool, Optional[float]]]]:
     """Split work into submission chunks.
 
     Small fast runs drown in per-future IPC when submitted one by one;
@@ -565,7 +622,7 @@ def _chunk_plan(
     each worker's snapshot cache sees runs of the same prefix back to
     back and captures each prefix at most once per process.
     """
-    if any(w for _i, _c, w in items):
+    if any(it[2] for it in items):
         items = sorted(
             items, key=lambda it: (repr(prefix_key(it[1])) if it[2] else "", it[0])
         )
@@ -582,6 +639,8 @@ def run_many(
     warm: Union[bool, str] = False,
     chunk_size: Optional[int] = None,
     on_result: Optional[Callable[[int, RunResult], None]] = None,
+    on_sample: Optional[Callable[[int, "object"], None]] = None,
+    sample_window: float = 0.25,
 ) -> List[RunResult]:
     """Run every config; process-parallel when ``workers > 1``.
 
@@ -603,19 +662,40 @@ def run_many(
     :func:`repro.sim.snapshot.warm_profitable`); ``warm="always"``
     forces forking for every config.  Results are bit-identical either
     way.
+
+    ``on_sample(index, sample)`` streams windowed telemetry: every run
+    gets a private :class:`repro.obs.Observer` emitting one
+    :class:`repro.obs.Sample` per ``sample_window`` simulated seconds.
+    Serial campaigns stream live (mid-run); parallel campaigns deliver
+    each run's samples, in time order, when its chunk lands.  Sampled
+    runs never warm-start (observer state is not part of a snapshot), so
+    ``warm`` is ignored when ``on_sample`` is set.
     """
     if on_error not in ("raise", "collect"):
         raise ValueError(f'on_error must be "raise" or "collect", got {on_error!r}')
     cfgs = list(configs)
     total = len(cfgs)
     force = warm == "always"
-    flags = [bool(warm) and (force or warm_profitable(c)) for c in cfgs]
+    sampling = on_sample is not None
+    flags = [
+        not sampling and bool(warm) and (force or warm_profitable(c)) for c in cfgs
+    ]
+    window = float(sample_window) if sampling else None
 
     if workers <= 1:
         results: List[RunResult] = []
         for k, c in enumerate(cfgs):
             try:
-                r = run_single(c, warm_start=flags[k] or None)
+                if sampling:
+                    from repro.obs import Observer
+
+                    ob = Observer(
+                        window=window,
+                        on_sample=(lambda s, _k=k: on_sample(_k, s)),
+                    )
+                    r = run_single(c, obs=ob)
+                else:
+                    r = run_single(c, warm_start=flags[k] or None)
             except Exception as exc:  # noqa: BLE001 - wrapped with run identity
                 err = _run_error(c, k, repr(exc))
                 if on_error == "raise":
@@ -631,18 +711,21 @@ def run_many(
     slots: List[Optional[RunResult]] = [None] * total
     done = 0
     pool = shared_pool(workers)
-    items = [(k, c, flags[k]) for k, c in enumerate(cfgs)]
+    items = [(k, c, flags[k], window) for k, c in enumerate(cfgs)]
     futures = [pool.submit(_run_chunk, chunk)
                for chunk in _chunk_plan(items, workers, chunk_size)]
     try:
         for fut in as_completed(futures):
-            for idx, res, failure in fut.result():
+            for idx, res, failure, samples in fut.result():
                 if failure is not None:
                     cause, worker_tb = failure
                     err = _run_error(cfgs[idx], idx, cause, worker_traceback=worker_tb)
                     if on_error == "raise":
                         raise err
                     res = err
+                if samples is not None and on_sample is not None:
+                    for s in samples:
+                        on_sample(idx, s)
                 slots[idx] = res
                 done += 1
                 if on_result is not None:
@@ -663,6 +746,11 @@ def aggregate(results: Sequence[RunResult], metric: str) -> Dict[str, float]:
     ``p50``/``p95`` use numpy's default linear interpolation; for fault
     campaigns the tail percentile is the honest summary of recovery
     latency (means hide the slow tail the paper's reader cares about).
+
+    Percentiles of a single replicate are not estimates of anything —
+    with ``n < 2`` both come back as NaN (with a warning) rather than
+    parroting the lone value, and the key set stays fixed so downstream
+    tables keep their columns.
     """
     if len(results) == 0:
         raise ValueError("no results to aggregate")
@@ -670,12 +758,23 @@ def aggregate(results: Sequence[RunResult], metric: str) -> Dict[str, float]:
         known = ", ".join(sorted(RunResult.__dataclass_fields__))
         raise ValueError(f"unknown metric {metric!r}; expected one of: {known}")
     vals = np.asarray([getattr(r, metric) for r in results], dtype=float)
-    std = float(vals.std(ddof=1)) if vals.size > 1 else 0.0
+    if vals.size > 1:
+        std = float(vals.std(ddof=1))
+        p50 = float(np.percentile(vals, 50.0))
+        p95 = float(np.percentile(vals, 95.0))
+    else:
+        warnings.warn(
+            f"aggregate({metric!r}): percentiles of a single replicate are "
+            "meaningless; p50/p95 set to NaN (run more replicates)",
+            stacklevel=2,
+        )
+        std = 0.0
+        p50 = p95 = float("nan")
     return {
         "mean": float(vals.mean()),
         "std": std,
         "sem": std / float(np.sqrt(vals.size)) if vals.size > 1 else 0.0,
-        "p50": float(np.percentile(vals, 50.0)),
-        "p95": float(np.percentile(vals, 95.0)),
+        "p50": p50,
+        "p95": p95,
         "n": int(vals.size),
     }

@@ -1,0 +1,32 @@
+"""Observability layer: counters, protocol-phase spans, streamed samples.
+
+The package attaches to a live :class:`repro.sim.kernel.Simulator` the
+same way :class:`repro.check.CheckHarness` does and costs nothing when
+detached — see :class:`~repro.obs.observer.Observer` for the contract
+and ``docs/OBSERVABILITY.md`` for the guide.
+"""
+
+from repro.obs.export import (
+    counters_json,
+    parse_prometheus_text,
+    prometheus_text,
+    write_text,
+)
+from repro.obs.observer import Observer
+from repro.obs.registry import CounterRegistry, counters_from_trace
+from repro.obs.sampler import Sample, StreamingSampler
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "Observer",
+    "CounterRegistry",
+    "counters_from_trace",
+    "Span",
+    "SpanRecorder",
+    "Sample",
+    "StreamingSampler",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "counters_json",
+    "write_text",
+]

@@ -1,0 +1,97 @@
+"""Text exporters for the observability layer.
+
+Two wire formats, both dependency-free:
+
+* **Prometheus text exposition** — ``prometheus_text`` renders a
+  :class:`~repro.obs.registry.CounterRegistry` in the v0.0.4 text format
+  (``# TYPE`` headers, one ``name{labels} value`` line per metric), so a
+  campaign's counters can be scraped or diffed with standard tooling;
+* **JSONL** — one JSON object per line for samples, spans and counters,
+  the same convention as the campaign checkpoint files.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional
+
+__all__ = [
+    "prometheus_text",
+    "counters_json",
+    "write_text",
+    "parse_prometheus_text",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    return _NAME_RE.sub("_", f"{prefix}_{name}")
+
+
+def prometheus_text(
+    registry,
+    prefix: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    ``labels`` (e.g. ``{"protocol": "mtmrp"}``) are attached to every
+    sample line; label values are escaped per the exposition spec.
+    """
+    label_str = ""
+    if labels:
+        pairs = []
+        for k, v in sorted(labels.items()):
+            escaped = str(v).replace("\\", r"\\").replace('"', r"\"")
+            pairs.append(f'{_NAME_RE.sub("_", k)}="{escaped}"')
+        label_str = "{" + ",".join(pairs) + "}"
+    lines = []
+    for name in sorted(registry.counters):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{label_str} {registry.counters[name]}")
+    for name in sorted(registry.gauges):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{label_str} {registry.gauges[name]:.10g}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse the exposition format back into ``{metric: value}``.
+
+    Round-trip helper for the CI smoke job and tests — not a general
+    Prometheus parser (one unlabelled-or-single-labelset sample per
+    metric, which is all :func:`prometheus_text` emits).
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value = line.rpartition(" ")
+        metric = name_part.split("{", 1)[0]
+        if not metric or not value:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        out[metric] = float(value)
+    return out
+
+
+def counters_json(registry, **meta) -> str:
+    """One JSON object with counters, gauges and caller metadata."""
+    return json.dumps(
+        {**meta, "counters": dict(registry.counters), "gauges": dict(registry.gauges)},
+        sort_keys=True,
+        default=float,
+    )
+
+
+def write_text(path, text: str) -> Path:
+    """Write an export to disk (creating parents); returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text if text.endswith("\n") else text + "\n")
+    return p

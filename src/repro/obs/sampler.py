@@ -1,0 +1,171 @@
+"""Windowed time-series sampling of a live simulation.
+
+The sampler schedules one cheap self-rescheduling kernel event per window
+(default 0.25 simulated seconds) that snapshots the run's running totals
+— trace counters, heap depth, distinct forwarders/delivered receivers —
+and appends one :class:`Sample` row.  The callback reads state only: it
+emits no trace records, draws no rng, and mutates nothing outside the
+sampler, so an attached sampler leaves the trace digest bit-identical
+(pinned by ``tests/obs/test_observer.py``).  Extra events do consume
+event-queue sequence numbers, but sequence assignment is order-preserving
+for every other event, so tie-breaking among protocol events is
+untouched.
+
+Fault-recovery detection rides on the same windows: the first window
+whose RouteError delta is positive opens a ``fault-recovery`` span (at
+window granularity), closed by the next window that sees a delivery —
+precise-to-the-emit detection would need a per-emit trace watcher, whose
+cost the observability layer deliberately refuses to pay by default.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, NamedTuple, Optional
+
+from repro.sim.trace import TraceKind
+
+__all__ = ["Sample", "StreamingSampler"]
+
+
+class Sample(NamedTuple):
+    """One window of the streamed time-series.
+
+    Windowed fields (``*_w``) count events inside the window; the rest
+    are cumulative or instantaneous at the window's closing edge.
+    """
+
+    #: simulated time at the window's closing edge
+    time: float
+    #: transmissions / receptions / deliveries inside this window
+    tx_w: int
+    rx_w: int
+    delivers_w: int
+    collisions_w: int
+    route_errors_w: int
+    #: cumulative fraction of the multicast group reached so far
+    delivery_ratio: float
+    #: distinct nodes that have transmitted a data packet so far
+    forwarders: int
+    #: event-heap depth at sample time (live + not-yet-reconciled pops)
+    pending: int
+
+    def to_dict(self) -> dict:
+        return self._asdict()
+
+
+class StreamingSampler:
+    """Emit one :class:`Sample` per ``window`` simulated seconds.
+
+    Parameters
+    ----------
+    window:
+        Simulated seconds per sample (> 0).
+    on_sample:
+        Optional callback invoked as ``on_sample(sample)`` the moment a
+        window closes — the streaming hook ``run_many(on_sample=)``
+        builds on.  Exceptions propagate (a broken consumer should fail
+        loudly, not silently corrupt its series).
+    """
+
+    def __init__(
+        self,
+        window: float = 0.25,
+        on_sample: Optional[Callable[[Sample], None]] = None,
+    ) -> None:
+        if not window > 0:
+            raise ValueError(f"window must be > 0, got {window!r}")
+        self.window = float(window)
+        self.on_sample = on_sample
+        self.samples: List[Sample] = []
+        self._sim = None
+        self._receivers: frozenset = frozenset()
+        self._delivered: set = set()
+        self._last = {"tx": 0, "rx": 0, "delivers": 0, "collisions": 0, "route_errors": 0}
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach(self, sim) -> "StreamingSampler":
+        """Bind to a simulator and schedule the first window edge."""
+        if self._sim is not None:
+            raise RuntimeError("StreamingSampler.attach() called twice")
+        self._sim = sim
+        sim.schedule(self.window, self._tick)
+        self._started = True
+        return self
+
+    def bind_receivers(self, receivers) -> None:
+        """Tell the sampler the multicast group (delivery-ratio maths)."""
+        self._receivers = frozenset(int(r) for r in receivers)
+
+    # ------------------------------------------------------------------ #
+    # the per-window callback
+    # ------------------------------------------------------------------ #
+    def _totals(self) -> dict:
+        counts = self._sim.trace.counts
+        tx = rx = col = 0
+        for (kind, _pt), v in counts.items():
+            if kind is TraceKind.TX:
+                tx += v
+            elif kind is TraceKind.RX:
+                rx += v
+            elif kind is TraceKind.COLLISION:
+                col += v
+        return {
+            "tx": tx,
+            "rx": rx,
+            "delivers": self._sim.trace.count(TraceKind.DELIVER),
+            "collisions": col,
+            "route_errors": counts[(TraceKind.TX, "RouteError")],
+        }
+
+    def sample_now(self) -> Sample:
+        """Close a window at the current instant (also used by _tick)."""
+        sim = self._sim
+        if sim is None:
+            raise RuntimeError("StreamingSampler.sample_now() before attach()")
+        totals = self._totals()
+        trace = sim.trace
+        if not trace.counters_only and self._receivers:
+            self._delivered = trace.nodes_with(TraceKind.DELIVER) & self._receivers
+            ratio = len(self._delivered) / len(self._receivers)
+        else:
+            ratio = 0.0
+        forwarders = (
+            len(trace.nodes_with(TraceKind.TX, "DataPacket"))
+            if not trace.counters_only
+            else 0
+        )
+        s = Sample(
+            time=float(sim.now),
+            tx_w=totals["tx"] - self._last["tx"],
+            rx_w=totals["rx"] - self._last["rx"],
+            delivers_w=totals["delivers"] - self._last["delivers"],
+            collisions_w=totals["collisions"] - self._last["collisions"],
+            route_errors_w=totals["route_errors"] - self._last["route_errors"],
+            delivery_ratio=ratio,
+            forwarders=forwarders,
+            pending=sim.heap_depth,
+        )
+        self._last = totals
+        self.samples.append(s)
+        if self.on_sample is not None:
+            self.on_sample(s)
+        return s
+
+    def _tick(self) -> None:
+        self.sample_now()
+        self._sim.schedule(self.window, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def series(self, field: str) -> List[float]:
+        """One column of the sampled series, by :class:`Sample` field name."""
+        return [getattr(s, field) for s in self.samples]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per sample, in time order."""
+        return "\n".join(json.dumps(s.to_dict(), default=float) for s in self.samples)

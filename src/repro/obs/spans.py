@@ -1,0 +1,253 @@
+"""Protocol-phase spans: nested wall-clock + sim-time intervals.
+
+A *span* covers one protocol phase of a run — topology/channel build,
+HELLO warmup, a route-discovery round, the data-delivery window, a fault
+recovery — with both durations that matter: wall-clock seconds (what the
+operator pays) and simulated seconds (what the protocol experienced).
+Spans nest: a ``route-discovery`` span opened inside a ``run`` span
+records the parent's index, so exporters can rebuild the tree.
+
+The recorder is a plain append-only list plus an open-span stack — no
+events are scheduled, no rng is drawn, no trace records are emitted, so
+span recording can never perturb a simulation (the same discipline as
+:class:`repro.check.CheckHarness`).
+
+Export formats:
+
+* :meth:`SpanRecorder.to_jsonl` — one JSON object per finished span;
+* :meth:`SpanRecorder.chrome_trace` — a Chrome-trace ``traceEvents``
+  document (open ``chrome://tracing`` or https://ui.perfetto.dev and load
+  the file) with wall-clock timestamps and sim-time annotations in
+  ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) phase interval."""
+
+    name: str
+    #: wall-clock start/end from ``time.perf_counter()`` (seconds,
+    #: process-relative — only differences are meaningful)
+    wall_start: float
+    wall_end: Optional[float] = None
+    #: simulated start/end times (seconds)
+    sim_start: float = 0.0
+    sim_end: Optional[float] = None
+    #: nesting depth (0 = top level)
+    depth: int = 0
+    #: index of the enclosing span in ``SpanRecorder.spans`` (None = root)
+    parent: Optional[int] = None
+    #: free-form annotations (protocol name, seed, ...)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_duration(self) -> Optional[float]:
+        if self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        if self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "parent": self.parent,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+            "wall_s": self.wall_duration,
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "sim_s": self.sim_duration,
+            "meta": self.meta,
+        }
+
+
+class SpanRecorder:
+    """Accumulates :class:`Span` objects with begin/end or context-manager use.
+
+    ::
+
+        spans = SpanRecorder()
+        with spans.span("route-discovery", sim):
+            src.request_route(group)
+            sim.run(until=...)
+
+    ``sim`` may be None for spans with no simulated extent (pure
+    wall-clock work such as metrics collection).
+    """
+
+    def __init__(self) -> None:
+        #: finished and open spans in open order
+        self.spans: List[Span] = []
+        self._stack: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def begin(self, name: str, sim=None, **meta: Any) -> Span:
+        """Open a span now; nested under the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        sp = Span(
+            name=name,
+            wall_start=time.perf_counter(),
+            sim_start=float(sim.now) if sim is not None else 0.0,
+            depth=len(self._stack),
+            parent=parent,
+            meta=dict(meta),
+        )
+        self._stack.append(len(self.spans))
+        self.spans.append(sp)
+        return sp
+
+    def end(self, sim=None) -> Span:
+        """Close the innermost open span."""
+        if not self._stack:
+            raise RuntimeError("SpanRecorder.end() with no open span")
+        sp = self.spans[self._stack.pop()]
+        sp.wall_end = time.perf_counter()
+        sp.sim_end = float(sim.now) if sim is not None else sp.sim_start
+        return sp
+
+    def span(self, name: str, sim=None, **meta: Any):
+        """Context manager sugar over :meth:`begin`/:meth:`end`."""
+        return _SpanContext(self, name, sim, meta)
+
+    def mark(self, name: str, sim=None, **meta: Any) -> Span:
+        """Record an instantaneous span (zero duration) — a timeline marker."""
+        now = time.perf_counter()
+        sim_t = float(sim.now) if sim is not None else 0.0
+        sp = Span(
+            name=name,
+            wall_start=now,
+            wall_end=now,
+            sim_start=sim_t,
+            sim_end=sim_t,
+            depth=len(self._stack),
+            parent=self._stack[-1] if self._stack else None,
+            meta=dict(meta),
+        )
+        self.spans.append(sp)
+        return sp
+
+    def add_finished(
+        self,
+        name: str,
+        wall_start: float,
+        wall_end: float,
+        sim_start: float,
+        sim_end: float,
+        **meta: Any,
+    ) -> Span:
+        """Append an already-closed span without touching the open stack.
+
+        For intervals detected after the fact (e.g. the observer's
+        window-granular fault-recovery spans) whose open/close instants
+        don't nest cleanly inside the currently open phase.
+        """
+        sp = Span(
+            name=name,
+            wall_start=wall_start,
+            wall_end=wall_end,
+            sim_start=sim_start,
+            sim_end=sim_end,
+            depth=len(self._stack),
+            parent=self._stack[-1] if self._stack else None,
+            meta=dict(meta),
+        )
+        self.spans.append(sp)
+        return sp
+
+    def close_all(self, sim=None) -> None:
+        """Close every span still open (crash-path tidy-up)."""
+        while self._stack:
+            self.end(sim)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self) -> str:
+        """One JSON object per span, in open order."""
+        return "\n".join(json.dumps(sp.to_dict(), default=float) for sp in self.spans)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Chrome-trace/Perfetto ``traceEvents`` document.
+
+        Wall-clock drives the timeline (microseconds, rebased so the first
+        span starts at 0); each event's ``args`` carries the sim-time
+        window so both clocks are readable in the viewer.  Instant marks
+        become ``ph="i"`` events.
+        """
+        events: List[Dict[str, Any]] = []
+        t0 = min((sp.wall_start for sp in self.spans), default=0.0)
+        for sp in self.spans:
+            args = {"sim_start": sp.sim_start, "sim_end": sp.sim_end, **sp.meta}
+            ts = (sp.wall_start - t0) * 1e6
+            if sp.wall_duration == 0.0:
+                events.append(
+                    {"name": sp.name, "ph": "i", "ts": ts, "pid": 0, "tid": 0,
+                     "s": "t", "args": args}
+                )
+            else:
+                events.append(
+                    {"name": sp.name, "ph": "X", "ts": ts,
+                     "dur": (sp.wall_duration or 0.0) * 1e6,
+                     "pid": 0, "tid": 0, "args": args}
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def timeline(self, width: int = 48) -> str:
+        """ASCII timeline of finished spans (the ``obs`` CLI report body)."""
+        done = [sp for sp in self.spans if sp.wall_end is not None]
+        if not done:
+            return "(no spans)"
+        t0 = min(sp.wall_start for sp in done)
+        t1 = max(sp.wall_end for sp in done)
+        total = (t1 - t0) or 1.0
+        lines = [f"{'phase':<28} {'wall(ms)':>9} {'sim(s)':>8}  timeline"]
+        for sp in done:
+            a = int((sp.wall_start - t0) / total * (width - 1))
+            b = max(a + 1, int((sp.wall_end - t0) / total * (width - 1)) + 1)
+            bar = " " * a + "#" * (b - a)
+            name = ("  " * sp.depth + sp.name)[:28]
+            wall = (sp.wall_duration or 0.0) * 1e3
+            sim_s = sp.sim_duration if sp.sim_duration is not None else 0.0
+            lines.append(f"{name:<28} {wall:>9.2f} {sim_s:>8.3f}  |{bar:<{width}}|")
+        return "\n".join(lines)
+
+
+class _SpanContext:
+    """The object returned by :meth:`SpanRecorder.span`."""
+
+    __slots__ = ("_rec", "_name", "_sim", "_meta", "span")
+
+    def __init__(self, rec: SpanRecorder, name: str, sim, meta: Dict[str, Any]) -> None:
+        self._rec = rec
+        self._name = name
+        self._sim = sim
+        self._meta = meta
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._rec.begin(self._name, self._sim, **self._meta)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._rec.end(self._sim)

@@ -63,6 +63,19 @@ class Simulator:
         """Number of live events still in the queue."""
         return len(self._queue)
 
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap size, valid even from inside a running handler.
+
+        :attr:`pending` relies on the live count, which the run loop
+        reconciles only after it exits — mid-run it still includes every
+        entry popped since loop entry.  Observability hooks that fire as
+        events (e.g. the streaming sampler) read this instead: the raw
+        heap length, which counts live *and* cancelled-but-unpopped
+        entries but is always current.
+        """
+        return len(self._queue._heap)
+
     # ------------------------------------------------------------------ #
     # scheduling
     # ------------------------------------------------------------------ #

@@ -144,6 +144,7 @@ def build_prefix(
     cfg: "SimulationConfig",
     trace: Optional[TraceRecorder] = None,
     attach=None,
+    obs=None,
 ) -> ForkedPrefix:
     """Build a deployment up to the snapshot boundary (cold path).
 
@@ -155,8 +156,11 @@ def build_prefix(
     the boundary is trace-identical to the historical single-pass build.
 
     ``attach(sim)`` — when given — runs right after kernel creation,
-    before the channel caches ``trace.emit`` (the check-harness hook;
-    such runs are never snapshotted).
+    before the channel caches ``trace.emit`` (the check-harness and
+    observer hook; such runs are never snapshotted).  ``obs`` — an
+    already-constructed :class:`repro.obs.Observer` — additionally
+    brackets the build and HELLO warmup in phase spans; its ``attach``
+    must be wired through the ``attach`` hook by the caller.
     """
     from repro.experiments.config import make_loss_model, make_positions
     from repro.mac.csma import CsmaMac
@@ -169,6 +173,8 @@ def build_prefix(
     sim = Simulator(seed=cfg.seed, trace=trace)
     if attach is not None:
         attach(sim)
+    if obs is not None:
+        obs.spans.begin("prefix-build", sim, topology=cfg.topology, seed=cfg.seed)
     positions = make_positions(cfg, sim.rng.stream("topology"))
     perfect = cfg.perfect_channel or cfg.mac == "ideal"
     mac_factory = IdealMac if cfg.mac == "ideal" else CsmaMac
@@ -205,13 +211,19 @@ def build_prefix(
     net.set_group_members(cfg.group, receivers)
 
     geographic = cfg.protocol == "gmr"
+    if obs is not None:
+        obs.spans.end(sim)  # prefix-build
     if cfg.hello_phase:
         net.install_hello(period=cfg.hello_period, share_position=geographic)
         # start only the HELLO agents (all that exist before the boundary);
         # protocol agents are started individually by the suffix
         for node in net.nodes:
             node.start_agents()
-        sim.run(until=cfg.hello_warmup)
+        if obs is not None:
+            with obs.spans.span("hello-warmup", sim):
+                sim.run(until=cfg.hello_warmup)
+        else:
+            sim.run(until=cfg.hello_warmup)
     else:
         net.bootstrap_neighbor_tables(with_positions=geographic)
     return ForkedPrefix(sim, net, receivers, positions)

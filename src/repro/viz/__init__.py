@@ -5,12 +5,18 @@ standalone SVG documents for the paper's chart types; the ASCII renderers
 serve terminal reports and tests.
 """
 
-from repro.viz.ascii_plot import render_field, render_line_chart, render_surface
+from repro.viz.ascii_plot import (
+    render_field,
+    render_line_chart,
+    render_sparkline,
+    render_surface,
+)
 from repro.viz.svg import field_svg, line_chart_svg, save_svg, surface_svg
 
 __all__ = [
     "render_field",
     "render_line_chart",
+    "render_sparkline",
     "render_surface",
     "line_chart_svg",
     "field_svg",

@@ -17,7 +17,52 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["render_field", "render_line_chart", "render_surface"]
+__all__ = ["render_field", "render_line_chart", "render_surface", "render_sparkline"]
+
+#: eight-level block ramp used by :func:`render_sparkline`
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    label: str = "",
+) -> str:
+    """One-line block-character sparkline of a numeric series.
+
+    The ``obs`` CLI uses this for windowed time-series (delivery ratio,
+    per-window transmissions, heap depth).  ``width`` caps the number of
+    cells by averaging adjacent values into buckets; NaNs render as
+    spaces.  Min/max annotations make the (otherwise unitless) ramp
+    readable.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"{label} (no data)" if label else "(no data)"
+    if width is not None and width > 0 and len(vals) > width:
+        # average adjacent samples into `width` buckets
+        buckets = []
+        n = len(vals)
+        for i in range(width):
+            lo, hi = i * n // width, max((i + 1) * n // width, i * n // width + 1)
+            chunk = vals[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        vals = buckets
+    finite = [v for v in vals if v == v]
+    if not finite:
+        return f"{label} (all NaN)" if label else "(all NaN)"
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    cells = []
+    for v in vals:
+        if v != v:  # NaN
+            cells.append(" ")
+        else:
+            idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))
+            cells.append(_SPARK_BLOCKS[idx])
+    line = "".join(cells)
+    suffix = f"  [min {lo:.3g}, max {hi:.3g}]"
+    return (f"{label} {line}{suffix}") if label else (line + suffix)
 
 
 def render_field(

@@ -40,6 +40,37 @@ def test_unknown_figure_rejected():
         main(["fig99"])
 
 
+def test_obs_command(capsys, tmp_path, monkeypatch):
+    """The obs CLI runs an observed campaign and writes parseable exports."""
+    monkeypatch.chdir(tmp_path)
+    out_dir = tmp_path / "obs_out"
+    rc = main(["obs", "--runs", "4", "--seed", "9", "--obs-out", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Observed campaign" in out
+    assert "counters" in out and "protocol-phase spans" in out
+    assert "delivery" in out  # sparkline labels
+    # every export parses
+    from repro.obs import parse_prometheus_text
+
+    prom = parse_prometheus_text((out_dir / "counters.prom").read_text())
+    assert prom["repro_tx"] > 0
+    for name in ("samples.jsonl", "spans.jsonl"):
+        for line in (out_dir / name).read_text().splitlines():
+            if line:
+                json.loads(line)
+    chrome = json.loads((out_dir / "spans_chrome.json").read_text())
+    assert chrome["traceEvents"]
+    counters = json.loads((out_dir / "counters.json").read_text())
+    assert counters["counters"]["delivers"] > 0
+
+
+def test_obs_excluded_from_all():
+    from repro.experiments.__main__ import _NON_FIGURE
+
+    assert "obs" in _NON_FIGURE
+
+
 class TestBenchGate:
     def test_compare_to_baseline_flags_only_regressions(self, tmp_path):
         from repro.experiments.bench import compare_to_baseline

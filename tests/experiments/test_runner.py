@@ -259,3 +259,75 @@ class TestAggregatePercentiles:
         assert agg["p95"] == pytest.approx(95.05)
         assert agg["n"] == 100
         assert set(agg) == {"mean", "std", "sem", "p50", "p95", "n"}
+
+    def test_single_replicate_percentiles_are_nan_with_warning(self):
+        """A percentile of one sample is not an estimate; the key set is
+        kept intact so downstream tables never lose their columns."""
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        results = run_many(monte_carlo(cfg, 1, batch_seed=2))
+        with pytest.warns(UserWarning, match="percentile"):
+            agg = aggregate(results, "data_transmissions")
+        assert set(agg) == {"mean", "std", "sem", "p50", "p95", "n"}
+        assert np.isnan(agg["p50"]) and np.isnan(agg["p95"])
+        assert agg["n"] == 1
+        assert agg["mean"] == results[0].data_transmissions
+
+    def test_two_replicates_give_finite_percentiles(self):
+        cfg = SimulationConfig(protocol="odmrp", **FAST)
+        results = run_many(monte_carlo(cfg, 2, batch_seed=2))
+        agg = aggregate(results, "data_transmissions")
+        assert np.isfinite(agg["p50"]) and np.isfinite(agg["p95"])
+
+
+class TestOnSample:
+    def test_serial_streams_windows_per_run(self):
+        from repro.obs import Sample
+
+        cfg = SimulationConfig(protocol="mtmrp", **FAST)
+        cfgs = monte_carlo(cfg, 3, batch_seed=5)
+        rows = []
+        results = run_many(cfgs, on_sample=lambda i, s: rows.append((i, s)))
+        assert len(results) == 3
+        assert sorted({i for i, _s in rows}) == [0, 1, 2]
+        assert all(isinstance(s, Sample) for _i, s in rows)
+        # within a run, windows arrive in time order
+        for k in range(3):
+            times = [s.time for i, s in rows if i == k]
+            assert times == sorted(times) and len(times) > 0
+
+    def test_parallel_delivers_same_samples_and_results(self):
+        cfg = SimulationConfig(protocol="mtmrp", **FAST)
+        cfgs = monte_carlo(cfg, 4, batch_seed=5)
+        serial_rows, parallel_rows = [], []
+        serial = run_many(cfgs, on_sample=lambda i, s: serial_rows.append((i, s)))
+        parallel = run_many(
+            cfgs, workers=2, on_sample=lambda i, s: parallel_rows.append((i, s))
+        )
+        assert serial == parallel
+        # same per-run sample series regardless of execution mode
+        by_run = lambda rows, k: [s for i, s in rows if i == k]  # noqa: E731
+        for k in range(4):
+            assert by_run(serial_rows, k) == by_run(parallel_rows, k)
+
+    def test_sampled_results_match_unsampled(self):
+        """Attaching the per-run observers never changes the results."""
+        cfg = SimulationConfig(protocol="mtmrp", **FAST)
+        cfgs = monte_carlo(cfg, 2, batch_seed=5)
+        plain = run_many(cfgs)
+        sampled = run_many(cfgs, on_sample=lambda i, s: None)
+        assert plain == sampled
+
+    def test_sample_window_is_respected(self):
+        cfg = SimulationConfig(protocol="mtmrp", **FAST)
+        rows = []
+        run_many(
+            monte_carlo(cfg, 1, batch_seed=5),
+            on_sample=lambda i, s: rows.append(s.time),
+            sample_window=0.5,
+        )
+        assert rows[0] == pytest.approx(0.5)
+        # regular 0.5 s cadence; the final row is the end-of-run flush
+        # from Observer.finish() and may close a partial window
+        steps = [b - a for a, b in zip(rows, rows[1:-1])]
+        assert all(step == pytest.approx(0.5) for step in steps)
+        assert rows[-1] >= rows[-2]

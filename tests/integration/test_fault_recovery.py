@@ -75,6 +75,37 @@ def test_fault_sweep_reports_all_protocols():
         assert 0.0 <= v["recovered_runs"] <= 1.0
 
 
+def test_fault_sweep_percentile_keys_survive_single_replicate():
+    """With one replicate the p50/p95 columns stay present — as NaN with
+    a warning — instead of silently parroting the lone value."""
+    import math
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out = fault_sweep(protocols=("mtmrp",), runs=1, n_packets=10)
+    v = out["mtmrp"]
+    # the fixed report schema: every percentile key present
+    for key in ("delivery_p50", "delivery_p95", "recovery_p50", "recovery_p95"):
+        assert key in v, f"{key} dropped from the single-replicate report"
+        assert math.isnan(v[key]), f"{key} should be NaN with n=1, got {v[key]}"
+    messages = [str(w.message) for w in caught]
+    assert any("percentile" in m for m in messages)  # aggregate() warned
+    assert any("recovery_p50" in m or "recovered replicate" in m for m in messages)
+    # the means are still real numbers
+    assert 0.0 <= v["delivery_ratio"] <= 1.0
+    assert not math.isnan(v["recovery_latency"])  # this seed recovers
+
+
+def test_fault_sweep_percentiles_finite_with_replicates():
+    import math
+
+    out = fault_sweep(protocols=("mtmrp",), runs=3, n_packets=10)
+    v = out["mtmrp"]
+    for key in ("delivery_p50", "delivery_p95"):
+        assert not math.isnan(v[key])
+
+
 def test_gilbert_elliott_config_wires_through():
     cfg = _cfg(loss_model="gilbert", ge_p_good_bad=0.05, ge_p_bad_good=0.3)
     r = run_fault_single(cfg, **KW)

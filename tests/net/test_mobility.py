@@ -61,6 +61,63 @@ class TestMovement:
         sim.run(until=3.5)
         assert mob.updates == 3  # not doubled
 
+    def test_arrival_picks_fresh_waypoint_and_speed(self):
+        sim, net = make_net()
+        mob = RandomWaypointMobility(net, speed_min=50.0, speed_max=60.0,
+                                     update_interval=1.0, pinned=())
+        first_wp = mob._waypoints.copy()
+        first_speeds = mob._speeds.copy()
+        mob.start()
+        # at >= 50 m/s, 4 ticks cover 200 m — past any ~141 m diagonal leg,
+        # so every node has arrived and re-targeted at least once
+        sim.run(until=4.5)
+        assert not np.any(np.all(mob._waypoints == first_wp, axis=1))
+        assert not np.any(mob._speeds == first_speeds)
+
+    def test_pause_freezes_node_after_arrival(self):
+        sim, net = make_net()
+        mob = RandomWaypointMobility(net, speed_min=50.0, speed_max=60.0,
+                                     pause=100.0, update_interval=1.0, pinned=())
+        first_wp = mob._waypoints.copy()
+        mob.start()
+        sim.run(until=4.5)  # everyone has reached its first waypoint by now
+        # each node parked exactly on its first waypoint...
+        assert np.allclose(net.positions, first_wp)
+        sim.run(until=8.5)  # ...and stays there through the long pause
+        assert np.allclose(net.positions, first_wp)
+
+    def test_zero_pause_keeps_walking_immediately(self):
+        sim, net = make_net()
+        mob = RandomWaypointMobility(net, speed_min=50.0, speed_max=60.0,
+                                     pause=0.0, update_interval=1.0, pinned=())
+        mob.start()
+        sim.run(until=4.5)
+        arrived = net.positions.copy()
+        sim.run(until=5.5)
+        assert not np.allclose(net.positions, arrived)
+
+    def test_same_seed_same_walk(self):
+        paths = []
+        for _ in range(2):
+            sim, net = make_net(seed=7)
+            mob = RandomWaypointMobility(net, speed_min=1.0, speed_max=3.0,
+                                         update_interval=0.5)
+            mob.start()
+            sim.run(until=10.0)
+            paths.append(net.positions.copy())
+        assert np.array_equal(paths[0], paths[1])
+
+    def test_different_seed_different_walk(self):
+        finals = []
+        for seed in (7, 8):
+            sim, net = make_net(seed=seed)
+            mob = RandomWaypointMobility(net, speed_min=1.0, speed_max=3.0,
+                                         update_interval=0.5)
+            mob.start()
+            sim.run(until=10.0)
+            finals.append(net.positions.copy())
+        assert not np.allclose(finals[0], finals[1])
+
 
 class TestGeometryUpdates:
     def test_channel_neighbors_follow_positions(self):

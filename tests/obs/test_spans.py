@@ -1,0 +1,120 @@
+"""SpanRecorder: nesting, durations, exports."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, SpanRecorder
+from repro.sim.kernel import Simulator
+
+
+def test_begin_end_records_both_clocks():
+    rec = SpanRecorder()
+    sim = Simulator(seed=1)
+    sim.schedule(2.5, lambda: None)
+    sp = rec.begin("route-discovery", sim)
+    sim.run()
+    rec.end(sim)
+    assert sp.sim_start == 0.0
+    assert sp.sim_end == 2.5
+    assert sp.sim_duration == 2.5
+    assert sp.wall_duration is not None and sp.wall_duration >= 0.0
+    assert sp.depth == 0 and sp.parent is None
+
+
+def test_nesting_tracks_depth_and_parent():
+    rec = SpanRecorder()
+    with rec.span("outer"):
+        with rec.span("inner"):
+            pass
+        with rec.span("sibling"):
+            pass
+    outer, inner, sibling = rec.spans
+    assert (outer.depth, inner.depth, sibling.depth) == (0, 1, 1)
+    assert inner.parent == 0 and sibling.parent == 0
+    assert all(sp.wall_end is not None for sp in rec.spans)
+
+
+def test_end_without_begin_raises():
+    with pytest.raises(RuntimeError):
+        SpanRecorder().end()
+
+
+def test_mark_is_instantaneous_and_skips_stack():
+    rec = SpanRecorder()
+    with rec.span("phase"):
+        m = rec.mark("checkpoint", note="hello")
+    assert m.wall_duration == 0.0 and m.sim_duration == 0.0
+    assert m.depth == 1 and m.meta == {"note": "hello"}
+    # the mark never entered the open stack
+    assert rec.spans[0].name == "phase" and rec.spans[0].wall_end is not None
+
+
+def test_add_finished_bypasses_open_stack():
+    rec = SpanRecorder()
+    rec.begin("data-delivery")
+    rec.add_finished("fault-recovery", wall_start=1.0, wall_end=2.0,
+                     sim_start=0.5, sim_end=0.75)
+    # closing the phase must close *the phase*, not the recovery span
+    closed = rec.end()
+    assert closed.name == "data-delivery"
+    recovery = rec.spans[1]
+    assert recovery.name == "fault-recovery"
+    assert recovery.sim_duration == 0.25
+    assert recovery.wall_duration == 1.0
+
+
+def test_close_all_closes_every_open_span():
+    rec = SpanRecorder()
+    rec.begin("a")
+    rec.begin("b")
+    rec.close_all()
+    assert all(sp.wall_end is not None for sp in rec.spans)
+    assert len(rec) == 2
+
+
+def test_jsonl_roundtrip():
+    rec = SpanRecorder()
+    with rec.span("phase", None, protocol="mtmrp"):
+        pass
+    rows = [json.loads(line) for line in rec.to_jsonl().splitlines()]
+    assert rows[0]["name"] == "phase"
+    assert rows[0]["meta"] == {"protocol": "mtmrp"}
+    assert rows[0]["wall_s"] >= 0.0
+
+
+def test_chrome_trace_document_shape():
+    rec = SpanRecorder()
+    with rec.span("phase"):
+        rec.mark("instant")
+    doc = rec.chrome_trace()
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(complete) == 1 and len(instants) == 1
+    assert complete[0]["ts"] >= 0.0 and complete[0]["dur"] >= 0.0
+    # the document must be valid JSON end to end
+    json.dumps(doc)
+
+
+def test_timeline_renders_rows():
+    rec = SpanRecorder()
+    with rec.span("outer"):
+        with rec.span("inner"):
+            pass
+    text = rec.timeline(width=24)
+    lines = text.splitlines()
+    assert "phase" in lines[0]
+    assert any("outer" in line for line in lines)
+    assert any("  inner" in line for line in lines)  # indented by depth
+
+
+def test_timeline_empty():
+    assert SpanRecorder().timeline() == "(no spans)"
+
+
+def test_span_dataclass_defaults():
+    sp = Span(name="x", wall_start=0.0)
+    assert sp.wall_duration is None and sp.sim_duration is None
+    d = sp.to_dict()
+    assert d["name"] == "x" and d["wall_s"] is None

@@ -40,6 +40,74 @@ class TestLineChart:
         _parse(svg)  # would raise on unescaped characters
         assert "a&lt;b&amp;c" in svg
 
+    def test_four_series_exhaust_marker_shapes(self):
+        series = {name: [i, i + 1] for i, name in enumerate("ABCD")}
+        svg = line_chart_svg([1, 2], series)
+        _parse(svg)
+        # circle, square, diamond, triangle all drawn
+        assert "<circle" in svg and "<rect" in svg
+        assert svg.count("<polygon") >= 4  # diamonds + triangles (plot + legend)
+
+    def test_palette_and_markers_wrap_past_their_length(self):
+        series = {f"s{i}": [i, i + 1] for i in range(7)}  # > len(PALETTE)
+        svg = line_chart_svg([1, 2], series)
+        _parse(svg)
+        assert svg.count("<polyline") == 7
+        # series 6 reuses series 0's color
+        assert svg.count("#0072B2") >= 2
+
+    def test_single_x_value_does_not_divide_by_zero(self):
+        svg = line_chart_svg([5], {"A": [1.0]})
+        _parse(svg)
+        assert "<polyline" in svg
+
+    def test_ylabel_is_rotated(self):
+        svg = line_chart_svg([1, 2], {"A": [1, 2]}, ylabel="joules")
+        assert "rotate(-90" in svg and "joules" in svg
+
+
+class TestTicks:
+    def test_ticks_cover_the_range(self):
+        from repro.viz.svg import _ticks
+
+        ticks = _ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0 + 1e-9
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform spacing
+
+    def test_degenerate_range_still_yields_ticks(self):
+        from repro.viz.svg import _ticks
+
+        assert _ticks(5.0, 5.0)  # hi <= lo is padded internally
+        assert _ticks(3.0, 2.0)
+
+    def test_fractional_range(self):
+        from repro.viz.svg import _ticks
+
+        ticks = _ticks(0.0, 0.01)
+        assert all(0.0 <= t <= 0.01 + 1e-9 for t in ticks)
+        assert len(ticks) >= 2
+
+
+class TestMarkerShapes:
+    @pytest.mark.parametrize("shape,tag", [
+        ("circle", "<circle"),
+        ("square", "<rect"),
+        ("diamond", "<polygon"),
+        ("triangle", "<polygon"),
+    ])
+    def test_each_shape_emits_expected_element(self, shape, tag):
+        from repro.viz.svg import _marker
+
+        frag = _marker(shape, 10.0, 20.0, "#000")
+        assert frag.startswith(tag)
+        _parse(frag)  # each fragment is well-formed on its own
+
+    def test_diamond_and_triangle_polygons_differ(self):
+        from repro.viz.svg import _marker
+
+        assert _marker("diamond", 5, 5, "#000") != _marker("triangle", 5, 5, "#000")
+
 
 class TestField:
     def test_well_formed_with_all_roles(self):
@@ -56,6 +124,26 @@ class TestField:
         svg = field_svg(pos, 100.0, source=0, receivers=[], transmitters=[])
         assert "<rect" in svg
 
+    def test_role_glyphs_are_distinct(self):
+        # node 1 = plain, 2 = receiver, 3 = forwarder, 4 = both
+        pos = np.array([[0, 0], [10, 10], [20, 20], [30, 30], [40, 40]], float)
+        svg = field_svg(pos, 50.0, source=0, receivers=[2, 4], transmitters=[3, 4])
+        _parse(svg)
+        assert svg.count("<path") == 2  # red × (receiver) + white × (⊗ overlay)
+        assert 'stroke="#CC0000"' in svg  # pure receiver cross
+        assert 'stroke="white"' in svg  # forwarding-receiver overlay
+        assert 'fill="#111"' in svg  # pure forwarder disc
+        assert 'stroke="#4477AA"' in svg  # plain node ring
+        assert "legend" not in svg  # legend is a caption line, not an element
+        assert "source" in svg and "forwarding receiver" in svg
+
+    def test_title_escaped(self):
+        pos = np.array([[1, 1]], float)
+        svg = field_svg(pos, 10.0, source=0, receivers=[], transmitters=[],
+                        title="a<b")
+        _parse(svg)
+        assert "a&lt;b" in svg
+
 
 class TestSurface:
     def test_well_formed_with_annotations(self):
@@ -68,6 +156,19 @@ class TestSurface:
     def test_flat_surface_safe(self):
         vals = np.full((2, 2), 7.0)
         _parse(surface_svg([1, 2], [1, 2], vals))
+
+    def test_text_contrast_flips_on_dark_cells(self):
+        vals = np.array([[0.0, 100.0]])
+        svg = surface_svg([1], [1, 2], vals)
+        _parse(svg)
+        assert 'fill="#111">0.0<' in svg  # light cell, dark text
+        assert 'fill="#fff">100.0<' in svg  # dark cell, light text
+
+    def test_axis_names_in_header(self):
+        vals = np.zeros((1, 1))
+        svg = surface_svg([5], [9], vals, row_name="N", col_name="w")
+        assert "N\\w" in svg
+        assert ">5<" in svg and ">9<" in svg
 
 
 def test_save_svg_roundtrip(tmp_path):
