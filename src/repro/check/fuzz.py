@@ -40,6 +40,7 @@ from repro.experiments.config import (
     make_positions,
 )
 from repro.faults.plan import FaultPlan
+from repro.protocols.repair import RepairPolicy
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceKind, TraceRecorder, trace_digest
 
@@ -79,6 +80,8 @@ BOUNDS = {
     "n_packets": (1, 5),
     "rate_pps": (4.0, 20.0),
     "refresh_interval": (1.0, 2.5),
+    "repair_ttl": (1, 2),
+    "degraded_ttl": (3, 5),
     "seed_max": 2**31 - 1,
 }
 
@@ -99,6 +102,9 @@ class Scenario:
     mobility: Optional[Dict[str, float]] = None
     #: per-node battery in joules (None = unlimited)
     energy_budget: Optional[float] = None
+    #: :meth:`RepairPolicy.to_dict` payload enabling the self-healing
+    #: layer on every session-keeping agent (None = layer off)
+    repair: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         d = asdict(self)
@@ -130,6 +136,8 @@ class Scenario:
             bits.append(f"budget={self.energy_budget:.1e}J")
         if self.refresh_interval is not None:
             bits.append(f"refresh={self.refresh_interval:.1f}s")
+        if self.repair is not None:
+            bits.append("repair")
         return " ".join(bits)
 
 
@@ -200,6 +208,11 @@ def run_scenario(
     if scenario.refresh_interval is not None:
         for a in agents:
             a.fg_timeout = 2.5 * scenario.refresh_interval
+    if scenario.repair is not None:
+        policy = RepairPolicy.from_dict(scenario.repair)
+        for a in agents:
+            if getattr(a, "supports_repair", False):
+                a.repair_policy = policy
     net.start()
     harness.bind_network(net, agents, cfg.source, cfg.group, receivers)
 
@@ -324,6 +337,14 @@ def random_scenario(rng: np.random.Generator) -> Scenario:
     refresh = (
         float(rng.uniform(*b["refresh_interval"])) if rng.random() < 0.5 else None
     )
+    repair = None
+    if rng.random() < 0.25:
+        repair = RepairPolicy(
+            repair_ttl=int(rng.integers(b["repair_ttl"][0], b["repair_ttl"][1] + 1)),
+            degraded_ttl=int(
+                rng.integers(b["degraded_ttl"][0], b["degraded_ttl"][1] + 1)
+            ),
+        ).to_dict()
     return Scenario(
         config=cfg,
         faults=faults,
@@ -332,6 +353,7 @@ def random_scenario(rng: np.random.Generator) -> Scenario:
         refresh_interval=refresh,
         mobility=mobility,
         energy_budget=energy_budget,
+        repair=repair,
     )
 
 
@@ -421,6 +443,12 @@ def scenario_strategy():
         refresh = draw(
             st.none() | st.floats(*b["refresh_interval"], allow_nan=False)
         )
+        repair = None
+        if draw(st.booleans()):
+            repair = RepairPolicy(
+                repair_ttl=draw(st.integers(*b["repair_ttl"])),
+                degraded_ttl=draw(st.integers(*b["degraded_ttl"])),
+            ).to_dict()
         return Scenario(
             config=cfg,
             faults=tuple(plan.to_dicts()),
@@ -429,6 +457,7 @@ def scenario_strategy():
             refresh_interval=refresh,
             mobility=mobility,
             energy_budget=energy_budget,
+            repair=repair,
         )
 
     return scenarios()

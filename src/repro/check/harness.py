@@ -23,7 +23,9 @@ from repro.check.invariants import (
     DATA_PACKET_TYPES,
     check_energy,
     check_feasible_forwarding,
+    check_repair,
     check_sessions,
+    scan_degraded,
     scan_trace,
 )
 from repro.check.violations import Finding, InvariantViolation
@@ -41,6 +43,9 @@ INVARIANTS = (
     "seq-monotone",
     "energy-conserved",
     "feasible-forwarding-set",
+    "no-repair-storm",
+    "repair-converges-or-degrades",
+    "degraded-ttl-bounded",
 )
 
 
@@ -122,6 +127,8 @@ class CheckHarness:
         self._positions0 = None
         self._last_route_error_t: Optional[float] = None
         self._in_checkpoint = False
+        self._degraded_pos = 0
+        self._degraded_ttl_limit: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -212,6 +219,22 @@ class CheckHarness:
             found = check_sessions(self._agents, self._prev_seq)
             findings.extend(f for f in found if f.invariant in enabled)
 
+        if self._agents and enabled & {
+            "no-repair-storm", "repair-converges-or-degrades"
+        }:
+            found = check_repair(self._agents)
+            findings.extend(f for f in found if f.invariant in enabled)
+
+        if "degraded-ttl-bounded" in enabled:
+            ttl_limit = self._repair_ttl_limit()
+            if ttl_limit is not None:
+                findings.extend(
+                    scan_degraded(
+                        self._sim.trace.records, self._degraded_pos, ttl_limit
+                    )
+                )
+                self._degraded_pos = len(self._sim.trace.records)
+
         if self._net is not None and "energy-conserved" in enabled:
             findings.extend(check_energy(self._net.nodes, self._prev_consumed))
 
@@ -246,6 +269,23 @@ class CheckHarness:
             raise violations[0]
         self.report.violations.extend(violations)
         return violations
+
+    def _repair_ttl_limit(self) -> Optional[int]:
+        """Largest installed ``degraded_ttl`` across agents (None = layer off).
+
+        Cached after the first hit: policies are installed once,
+        post-install, and never swapped mid-run.
+        """
+        if self._degraded_ttl_limit is not None:
+            return self._degraded_ttl_limit
+        limit = None
+        for agent in self._agents:
+            policy = getattr(agent, "repair_policy", None)
+            if policy is not None:
+                ttl = int(policy.degraded_ttl)
+                limit = ttl if limit is None else max(limit, ttl)
+        self._degraded_ttl_limit = limit
+        return limit
 
     def _moved(self) -> bool:
         """Did any node move since bind_network()? (mobility runs)"""

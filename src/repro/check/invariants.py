@@ -41,6 +41,18 @@ The invariants (names are the harness's selection keys):
     receivers that were actually served: it contains the source, its
     induced subgraph is connected, and it covers every delivered
     receiver (the paper's Sec. III feasibility predicate).
+``no-repair-storm``
+    With a RepairPolicy installed, no repair session ever exceeds its
+    budgets: graft attempts, RouteError floods per episode and rebuild
+    rounds all stay within the configured bounds.
+``repair-converges-or-degrades``
+    A repair episode always terminates in a defined state: an active
+    episode only exists while REPAIRING, and a DEGRADED session got
+    there by actually exhausting a budget (RouteError or rebuild).
+``degraded-ttl-bounded``
+    Every forwarded copy of a degraded-mode scoped flood carries a TTL
+    strictly below the policy's ``degraded_ttl`` and never below zero —
+    the flood provably dies out within the configured radius.
 """
 
 from __future__ import annotations
@@ -55,10 +67,15 @@ __all__ = [
     "check_sessions",
     "check_energy",
     "check_feasible_forwarding",
+    "check_repair",
+    "scan_degraded",
 ]
 
 #: packet types whose TX records count as data-plane transmissions
-DATA_PACKET_TYPES = ("DataPacket", "GeoDataPacket", "FloodPacket")
+#: (scoped degraded-mode floods included: a flood's transmitter set also
+#: satisfies the Sec. III predicate — every copy was first heard from
+#: another transmitter, chaining back to the source)
+DATA_PACKET_TYPES = ("DataPacket", "GeoDataPacket", "FloodPacket", "ScopedFloodData")
 
 
 def scan_trace(
@@ -178,6 +195,11 @@ def check_sessions(
             up_id = st.upstream
             if up_id is None or node_id == source:
                 continue
+            if getattr(st, "grafted", False):
+                # a local-repair graft rewired the upstream pointer; the
+                # PathProfit recorded at JoinQuery time no longer describes
+                # the actual reverse path, by design
+                continue
             if up_id == source:
                 # the source originates with path_profit=0 (its own RP is
                 # excluded from Definition 2), so its children carry PP==0
@@ -208,6 +230,110 @@ def check_sessions(
                         node=node_id,
                     )
                 )
+    return findings
+
+
+def check_repair(agents: Sequence) -> List[Finding]:
+    """``no-repair-storm`` and ``repair-converges-or-degrades``.
+
+    Walks every agent's repair bookkeeping (skipped entirely for agents
+    without an installed :class:`~repro.protocols.repair.RepairPolicy`,
+    so flag-off runs cost nothing here beyond the attribute probes).
+    """
+    from repro.protocols.repair import RouteState
+
+    findings: List[Finding] = []
+    for agent in agents:
+        policy = getattr(agent, "repair_policy", None)
+        repair = getattr(agent, "_repair", None)
+        if policy is None or not repair:
+            continue
+        node_id = agent.node_id
+        for (source, group), rs in repair.items():
+            where = f"node {node_id} session (src={source}, grp={group})"
+            if rs.route_errors > policy.route_error_budget:
+                findings.append(
+                    Finding(
+                        "no-repair-storm",
+                        f"{where} triggered {rs.route_errors} RouteErrors "
+                        f"this episode (budget {policy.route_error_budget})",
+                        node=node_id,
+                    )
+                )
+            if rs.graft_attempt > policy.max_graft_attempts:
+                findings.append(
+                    Finding(
+                        "no-repair-storm",
+                        f"{where} sent {rs.graft_attempt} graft attempts "
+                        f"this burst (budget {policy.max_graft_attempts})",
+                        node=node_id,
+                    )
+                )
+            if rs.rebuild_attempts > policy.max_rebuild_attempts:
+                findings.append(
+                    Finding(
+                        "no-repair-storm",
+                        f"{where} ran {rs.rebuild_attempts} rebuild rounds "
+                        f"this episode (budget {policy.max_rebuild_attempts})",
+                        node=node_id,
+                    )
+                )
+            if rs.active and rs.state is not RouteState.REPAIRING:
+                findings.append(
+                    Finding(
+                        "repair-converges-or-degrades",
+                        f"{where} has an active repair episode while in "
+                        f"state {rs.state.value!r} (must be 'repairing')",
+                        node=node_id,
+                    )
+                )
+            if (
+                rs.state is RouteState.DEGRADED
+                and rs.route_errors < policy.route_error_budget
+                and rs.rebuild_attempts < policy.max_rebuild_attempts
+            ):
+                findings.append(
+                    Finding(
+                        "repair-converges-or-degrades",
+                        f"{where} is DEGRADED with no budget exhausted "
+                        f"(route_errors={rs.route_errors}/"
+                        f"{policy.route_error_budget}, rebuilds="
+                        f"{rs.rebuild_attempts}/{policy.max_rebuild_attempts})",
+                        node=node_id,
+                    )
+                )
+    return findings
+
+
+def scan_degraded(
+    records: Sequence[TraceRecord],
+    start: int,
+    ttl_limit: int,
+) -> List[Finding]:
+    """``degraded-ttl-bounded`` over ``records[start:]``.
+
+    Every ``NOTE "DegradedForward"`` detail carries the TTL of the
+    *outgoing* copy; a value at or above ``ttl_limit`` means a hop failed
+    to decrement (the flood would never die out), and a negative value
+    means a copy was forwarded past exhaustion.
+    """
+    findings: List[Finding] = []
+    for pos in range(start, len(records)):
+        rec = records[pos]
+        if rec.kind is not TraceKind.NOTE or rec.packet_type != "DegradedForward":
+            continue
+        out_ttl = rec.detail[0] if isinstance(rec.detail, tuple) else rec.detail
+        if not (0 <= out_ttl < ttl_limit):
+            findings.append(
+                Finding(
+                    "degraded-ttl-bounded",
+                    f"node {rec.node} forwarded a degraded flood copy with "
+                    f"TTL {out_ttl} (origin TTL {ttl_limit}: forwarded "
+                    f"copies must carry 0 <= TTL < {ttl_limit})",
+                    time=rec.time,
+                    node=rec.node,
+                )
+            )
     return findings
 
 

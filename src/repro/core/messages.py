@@ -21,7 +21,14 @@ from typing import ClassVar, Tuple
 
 from repro.net.packet import Packet
 
-__all__ = ["JoinQuery", "JoinReply", "RouteError", "Session"]
+__all__ = [
+    "JoinQuery",
+    "JoinReply",
+    "RouteError",
+    "RepairQuery",
+    "RepairReply",
+    "Session",
+]
 
 #: One JoinQuery round: (SourceID, GroupID, SequenceNumber).
 Session = Tuple[int, int, int]
@@ -72,6 +79,58 @@ class JoinReply(Packet):
     def is_original(self) -> bool:
         """True for the receiver's own transmission (not a relayed copy)."""
         return self.src == self.receiver
+
+
+@dataclass
+class RepairQuery(Packet):
+    """TTL-scoped graft request (local route repair, self-healing layer).
+
+    Flooded at most ``ttl`` hops by a downstream node whose serving
+    forwarder died; any nearby forwarder (or the source itself) with a
+    live route for the current round answers with a RepairReply instead of
+    the origin escalating straight to a network-wide RouteError flood.
+    """
+
+    #: the orphaned node asking to be re-attached
+    origin: int = 0
+    source: int = 0
+    group: int = 0
+    seq: int = 0
+    #: the dead forwarder being routed around (diagnostic, excluded as donor)
+    failed_node: int = -1
+    #: remaining hops this copy may still travel (1 = neighbors only)
+    ttl: int = 1
+    #: graft attempt number at the origin (dedup key across retries)
+    attempt: int = 0
+
+    n_fields: ClassVar[int] = 7
+
+    @property
+    def session(self) -> Session:
+        return (self.source, self.group, self.seq)
+
+
+@dataclass
+class RepairReply(Packet):
+    """Answer to a RepairQuery: "graft onto me" (travels the query's
+    reverse path back to the origin, adopting relays as forwarders the
+    same way JoinReplies do)."""
+
+    #: the one neighbor expected to act on this copy
+    nexthop: int = 0
+    #: the orphaned node being re-attached
+    origin: int = 0
+    source: int = 0
+    group: int = 0
+    seq: int = 0
+    #: echo of the RepairQuery's attempt counter
+    attempt: int = 0
+
+    n_fields: ClassVar[int] = 6
+
+    @property
+    def session(self) -> Session:
+        return (self.source, self.group, self.seq)
 
 
 @dataclass

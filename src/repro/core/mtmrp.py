@@ -120,7 +120,7 @@ class MtmrpAgent(OnDemandMulticastAgent):
         st.downstream_children.add(jr.src)
         self._learn_from_reply(jr, st)
         if self.node_id == st.source:
-            self.connected_receivers.add(jr.receiver)
+            self._source_accept_reply(jr, st)
             return
         if self.phs and self.node.neighbor_table.has_forwarder(
             st.session, exclude=st.downstream_children

@@ -225,6 +225,12 @@ def _run_obs(args) -> None:
     run_obs(args)
 
 
+def _run_chaos(args) -> None:
+    from repro.experiments.chaos import run_chaos
+
+    run_chaos(args)
+
+
 COMMANDS = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -239,11 +245,12 @@ COMMANDS = {
     "scaling": _run_scaling,
     "check": _run_check,
     "obs": _run_obs,
+    "chaos": _run_chaos,
 }
 
 #: Utility commands excluded from ``all`` (they measure the machine, not
 #: the paper).
-_NON_FIGURE = {"bench", "scaling", "check", "obs"}
+_NON_FIGURE = {"bench", "scaling", "check", "obs", "chaos"}
 
 
 def main(argv=None) -> int:

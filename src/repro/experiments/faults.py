@@ -60,6 +60,10 @@ class FaultRunResult:
     trace_sha256: str
     #: the injector's applied-fault log: (time, node, kind, cause)
     fault_log: Tuple[Tuple[float, int, str, str], ...]
+    #: MAC-level unicast retransmissions across all nodes (CSMA only)
+    mac_retries: int = 0
+    #: unicast frames dropped after exhausting the MAC retry limit
+    mac_dropped_retry: int = 0
 
 
 def run_fault_single(
@@ -171,6 +175,10 @@ def run_fault_single(
         energy_joules=net.energy_summary()["total_joules"],
         trace_sha256=trace_digest(sim.trace),
         fault_log=tuple(injector.log),
+        mac_retries=sum(getattr(n.mac, "retries", 0) for n in net.nodes),
+        mac_dropped_retry=sum(
+            getattr(n.mac, "dropped_retry", 0) for n in net.nodes
+        ),
     )
 
 
@@ -249,5 +257,12 @@ def fault_sweep(
             "recovered_runs": float(len(recov)) / len(results),
             "crashes": float(np.mean([r.crashes for r in results])),
             "frames_lost": float(np.mean([r.frames_lost for r in results])),
+            # link-layer retry failures sit next to the route-level
+            # metrics: a delivery dip with high dropped_retry is a MAC
+            # story, not a routing story
+            "mac_retries": float(np.mean([r.mac_retries for r in results])),
+            "mac_dropped_retry": float(
+                np.mean([r.mac_dropped_retry for r in results])
+            ),
         }
     return out

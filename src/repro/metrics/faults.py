@@ -36,6 +36,10 @@ __all__ = [
     "recovery_latency",
     "first_partition_time",
     "collect_fault_metrics",
+    "windowed_delivery",
+    "mean_time_to_recovery",
+    "route_state_timeline",
+    "time_in_state",
 ]
 
 
@@ -142,6 +146,106 @@ def recovery_latency(
             if best is None or lat < best:
                 best = lat
     return best
+
+
+def windowed_delivery(
+    trace: TraceRecorder,
+    receivers: Sequence[int],
+    send_times: Dict[int, float],
+    window: float,
+    source: int = 0,
+    group: int = 1,
+) -> List[Tuple[float, float]]:
+    """Delivery ratio per time window of the send schedule.
+
+    Packets are bucketed by *send* time into ``window``-second bins (so a
+    late delivery still credits the window its packet belongs to — the
+    availability question is "of the traffic offered in this interval,
+    how much arrived at all").  Returns sorted ``(window_start, ratio)``
+    pairs; windows with no traffic are omitted.
+    """
+    if not receivers or not send_times or window <= 0:
+        return []
+    n_recv = len(set(receivers))
+    by_seq = deliveries_by_seq(trace, receivers, source, group)
+    buckets: Dict[int, List[int]] = {}
+    for seq, t in send_times.items():
+        buckets.setdefault(int(t // window), []).append(seq)
+    out: List[Tuple[float, float]] = []
+    for k in sorted(buckets):
+        seqs = buckets[k]
+        got = sum(
+            len({node for _t, node in by_seq.get(s, [])}) for s in seqs
+        )
+        out.append((k * window, got / (len(seqs) * n_recv)))
+    return out
+
+
+def mean_time_to_recovery(
+    trace: TraceRecorder,
+    receivers: Sequence[int],
+    send_times: Dict[int, float],
+    source: int = 0,
+    group: int = 1,
+    threshold: float = 0.9,
+    surviving: Optional[Set[int]] = None,
+) -> Tuple[Optional[float], int, int]:
+    """MTTR over every crash in the trace.
+
+    Computes :func:`recovery_latency` per crash event and returns
+    ``(mean_latency_or_None, recovered_count, crash_count)`` — the MTTR
+    is over the crashes that recovered at all; the two counts let callers
+    report unrecovered crashes honestly instead of hiding them in a mean.
+    """
+    crashes = [(t, n) for t, n, kind in fault_timeline(trace) if kind == "crash"]
+    if surviving is None:
+        surviving = set(receivers) - {n for _t, n in crashes}
+    lats: List[float] = []
+    for t, _n in crashes:
+        lat = recovery_latency(
+            trace, receivers, t, send_times, source, group,
+            threshold=threshold, surviving=surviving,
+        )
+        if lat is not None:
+            lats.append(lat)
+    mttr = sum(lats) / len(lats) if lats else None
+    return mttr, len(lats), len(crashes)
+
+
+def route_state_timeline(trace: TraceRecorder) -> List[Tuple[float, int, str, str]]:
+    """Route-state transitions: sorted ``(time, node, state, reason)``.
+
+    Emitted by the self-healing layer as ``NOTE "RouteState"`` records;
+    empty for flag-off runs.
+    """
+    out = []
+    for rec in trace.filter(kind=TraceKind.NOTE, packet_type="RouteState"):
+        state, _source, _group, reason = rec.detail
+        out.append((rec.time, rec.node, state, reason))
+    out.sort()
+    return out
+
+
+def time_in_state(trace: TraceRecorder, end_time: float) -> Dict[str, float]:
+    """Total seconds spent per route state, summed over every session.
+
+    Each (node, source, group) stream contributes from its *first*
+    transition onward (sessions are implicitly healthy before that, so
+    ``healthy`` here under-counts by design — the interesting totals are
+    ``repairing`` and ``degraded``, which are exact).
+    """
+    totals: Dict[str, float] = {}
+    open_state: Dict[Tuple[int, int, int], Tuple[str, float]] = {}
+    for rec in trace.filter(kind=TraceKind.NOTE, packet_type="RouteState"):
+        state, source, group, _reason = rec.detail
+        k = (rec.node, source, group)
+        prev = open_state.get(k)
+        if prev is not None:
+            totals[prev[0]] = totals.get(prev[0], 0.0) + (rec.time - prev[1])
+        open_state[k] = (state, rec.time)
+    for state, since in open_state.values():
+        totals[state] = totals.get(state, 0.0) + (end_time - since)
+    return totals
 
 
 def first_partition_time(

@@ -102,6 +102,7 @@ class Observer:
             self.sampler.sample_now()
         if self._recovery_open:
             self._close_recovery(float(self._sim.now))
+        self._route_state_spans()
         self.spans.close_all(self._sim)
         self.registry.refresh()
         return self
@@ -171,3 +172,52 @@ class Observer:
         )
         self.recovery_spans.append((self._recovery_sim_start, t))
         self._recovery_open = False
+
+    # ------------------------------------------------------------------ #
+    # route-state spans (self-healing layer; derived at finish time)
+    # ------------------------------------------------------------------ #
+    def _route_state_spans(self) -> None:
+        """Synthesise repairing/degraded spans from ``RouteState`` notes.
+
+        One pass over the stored records, run only when the trace actually
+        contains RouteState transitions (i.e. a RepairPolicy was active) —
+        flag-off runs skip this entirely.  Wall-clock extents are
+        degenerate on purpose: these are simulated-time intervals detected
+        after the fact.
+        """
+        import time as _time
+
+        from repro.sim.trace import TraceKind
+
+        trace = self._sim.trace
+        if trace.counters_only or not trace.counts[(TraceKind.NOTE, "RouteState")]:
+            return
+        wall = _time.perf_counter()
+        end = float(self._sim.now)
+        open_spans: dict = {}  # (node, source, group) -> (state, since)
+        for rec in trace.records:
+            if rec.kind is not TraceKind.NOTE or rec.packet_type != "RouteState":
+                continue
+            state, source, group = rec.detail[0], rec.detail[1], rec.detail[2]
+            k = (rec.node, source, group)
+            prev = open_spans.pop(k, None)
+            if prev is not None:
+                self.spans.add_finished(
+                    f"route-{prev[0]}",
+                    wall_start=wall,
+                    wall_end=wall,
+                    sim_start=prev[1],
+                    sim_end=rec.time,
+                    node=k[0], source=source, group=group,
+                )
+            if state != "healthy":
+                open_spans[k] = (state, rec.time)
+        for (node, source, group), (state, since) in sorted(open_spans.items()):
+            self.spans.add_finished(
+                f"route-{state}",
+                wall_start=wall,
+                wall_end=wall,
+                sim_start=since,
+                sim_end=end,
+                node=node, source=source, group=group,
+            )

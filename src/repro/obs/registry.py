@@ -54,6 +54,14 @@ _TRACE_COUNTERS: Tuple[Tuple[str, TraceKind, Optional[str]], ...] = (
     ("phs_prunes", TraceKind.NOTE, "PathHandover"),
     ("reply_suppressed", TraceKind.NOTE, "ReplySuppressed"),
     ("forwarder_marks", TraceKind.MARK, "Forwarder"),
+    # self-healing layer (all zero unless a RepairPolicy is installed)
+    ("repair_query_tx", TraceKind.TX, "RepairQuery"),
+    ("repair_reply_tx", TraceKind.TX, "RepairReply"),
+    ("degraded_data_tx", TraceKind.TX, "ScopedFloodData"),
+    ("grafts_ok", TraceKind.NOTE, "GraftOk"),
+    ("grafts_failed", TraceKind.NOTE, "GraftFail"),
+    ("route_state_changes", TraceKind.NOTE, "RouteState"),
+    ("degraded_forwards", TraceKind.NOTE, "DegradedForward"),
 )
 
 
@@ -126,6 +134,17 @@ class CounterRegistry:
                 self.set_gauge("frames_sent", ch.frames_sent)
                 self.set_gauge("frames_lost", ch.frames_lost)
                 self.set_gauge("frames_collided", ch.frames_collided)
+            # MAC-local retry accounting (CSMA unicast): surfaced here so
+            # link-layer retry exhaustion is visible next to the
+            # route-level repair counters it usually precedes
+            self.set_gauge(
+                "mac_retries",
+                sum(getattr(n.mac, "retries", 0) for n in self._net.nodes),
+            )
+            self.set_gauge(
+                "mac_dropped_retry",
+                sum(getattr(n.mac, "dropped_retry", 0) for n in self._net.nodes),
+            )
         return self
 
     # ------------------------------------------------------------------ #

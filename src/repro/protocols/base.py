@@ -32,9 +32,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
-from repro.core.messages import JoinQuery, JoinReply, RouteError, Session
+from repro.core.messages import (
+    JoinQuery,
+    JoinReply,
+    RepairQuery,
+    RepairReply,
+    RouteError,
+    Session,
+)
 from repro.net.agent import Agent
-from repro.net.packet import DataPacket, Packet
+from repro.net.packet import DataPacket, Packet, ScopedFloodData
+from repro.protocols.repair import RepairPolicy, RepairSession, RouteState
 from repro.sim.trace import TraceKind
 
 __all__ = ["SessionState", "OnDemandMulticastAgent"]
@@ -65,6 +73,9 @@ class SessionState:
     replied: bool = False
     #: we already re-broadcast the JoinQuery
     query_forwarded: bool = False
+    #: upstream was rewired by a local repair graft (self-healing layer);
+    #: hop_count/path_profit no longer describe the actual reverse path
+    grafted: bool = False
     #: receivers whose JoinReply we already acted on as next hop
     acted_nexthop_for: Set[int] = field(default_factory=set)
     #: neighbors that named us as their next hop toward the source — their
@@ -80,10 +91,14 @@ class SessionState:
 class OnDemandMulticastAgent(Agent):
     """Base class for ODMRP-family multicast routing agents."""
 
-    handled_packets = (JoinQuery, JoinReply, DataPacket, RouteError)
+    handled_packets = (JoinQuery, JoinReply, DataPacket, RouteError, RepairQuery, RepairReply)
 
     #: protocol name used in traces/reports; subclasses override
     protocol_name = "base"
+
+    #: whether this protocol participates in the self-healing layer
+    #: (stateless protocols like GMR have no sessions to repair)
+    supports_repair = True
 
     def __init__(
         self,
@@ -119,10 +134,21 @@ class OnDemandMulticastAgent(Agent):
         self.connected_receivers: Set[int] = set()
         #: at the source: next JoinQuery sequence number per group
         self._next_seq: Dict[int, int] = {}
-        #: route errors already forwarded (duplicate filter)
+        #: route errors already forwarded (duplicate filter; pruned when a
+        #: new round supersedes the complained-about one)
         self._route_errors_seen: Set[tuple] = set()
         #: last-hop node of the most recent data packet per (source, group)
         self.last_data_from: Dict[GroupKey, int] = {}
+        #: self-healing layer configuration; ``None`` (default) = the
+        #: paper's plain RouteError-flood recovery, bit-identical traces
+        self.repair_policy: Optional[RepairPolicy] = None
+        #: per (source, group): repair state machine bookkeeping
+        self._repair: Dict[GroupKey, RepairSession] = {}
+        #: RepairQuery instances already processed (duplicate filter)
+        self._repair_seen: Set[tuple] = set()
+        #: per (source, group): neighbor we relayed the last RepairQuery
+        #: from (reverse path for the matching RepairReply)
+        self._repair_reverse: Dict[GroupKey, int] = {}
         # statistics
         self.stats: Dict[str, int] = {
             "queries_forwarded": 0,
@@ -132,6 +158,13 @@ class OnDemandMulticastAgent(Agent):
             "handovers": 0,
             "data_forwarded": 0,
             "route_errors_sent": 0,
+            "repair_queries_sent": 0,
+            "grafts_ok": 0,
+            "grafts_failed": 0,
+            "route_errors_suppressed": 0,
+            "repair_rebuilds": 0,
+            "degraded_data": 0,
+            "degraded_forwards": 0,
         }
         self._rng_gen = None
 
@@ -163,6 +196,8 @@ class OnDemandMulticastAgent(Agent):
         st = SessionState(source=me, group=group, seq=seq, upstream=None, hop_count=0)
         st.query_forwarded = True  # the origination below is our transmission
         self.sessions[(me, group)] = st
+        if self._route_errors_seen:
+            self._prune_route_errors(me, group, seq)
         st.relay_profit = self.compute_relay_profit(group, st.session)
         jq = JoinQuery(
             src=me, source=me, group=group, seq=seq, hop_count=0,
@@ -201,8 +236,25 @@ class OnDemandMulticastAgent(Agent):
             self.sim.cancel(ev)
 
     def send_data(self, group: int, seq: int = 0) -> DataPacket:
-        """Source: broadcast one data packet into the established tree."""
+        """Source: broadcast one data packet into the established tree.
+
+        While the session is DEGRADED (self-healing layer, retry budgets
+        exhausted) the tree is gone, so the packet goes out as a
+        TTL-bounded scoped flood instead — best-effort delivery until a
+        later rebuild round succeeds.
+        """
         me = self.node_id
+        policy = self.repair_policy
+        if policy is not None:
+            rs = self._repair.get((me, group))
+            if rs is not None and rs.state is RouteState.DEGRADED:
+                pkt = ScopedFloodData(
+                    src=me, source=me, group=group, seq=seq, ttl=policy.degraded_ttl
+                )
+                self.data_seen.add(pkt.flow_key)
+                self.stats["degraded_data"] += 1
+                self.send(pkt)
+                return pkt
         pkt = DataPacket(src=me, source=me, group=group, seq=seq)
         self.data_seen.add(pkt.flow_key)
         self.send(pkt)
@@ -217,9 +269,16 @@ class OnDemandMulticastAgent(Agent):
         elif isinstance(packet, JoinReply):
             self._recv_join_reply(packet)
         elif isinstance(packet, DataPacket):
-            self._recv_data(packet)
+            if type(packet) is ScopedFloodData:
+                self._recv_scoped_flood(packet)
+            else:
+                self._recv_data(packet)
         elif isinstance(packet, RouteError):
             self._recv_route_error(packet)
+        elif isinstance(packet, RepairQuery):
+            self._recv_repair_query(packet)
+        elif isinstance(packet, RepairReply):
+            self._recv_repair_reply(packet)
 
     # ------------------------------------------------------------------ #
     # JoinQuery path
@@ -245,6 +304,10 @@ class OnDemandMulticastAgent(Agent):
         # last round is no longer "the route", so the health watchdog must
         # not keep complaining about it while the rebuild is in flight
         self.last_data_from.pop(key, None)
+        if self._route_errors_seen:
+            self._prune_route_errors(jq.source, jq.group, jq.seq)
+        if self.repair_policy is not None:
+            self._repair_round_reset(key, jq.seq)
         st.relay_profit = self.compute_relay_profit(jq.group, st.session)
         if self.node.is_member(jq.group):
             self._receiver_on_query(jq, st)
@@ -290,12 +353,18 @@ class OnDemandMulticastAgent(Agent):
             return
         st.acted_nexthop_for.add(jr.receiver)
         if self.node_id == st.source:
-            self.connected_receivers.add(jr.receiver)
+            self._source_accept_reply(jr, st)
             return
         if st.is_forwarder:
             return  # route to the source already confirmed through us
         self._become_forwarder(st)
         self._forward_reply(jr, st)
+
+    def _source_accept_reply(self, jr: JoinReply, st: SessionState) -> None:
+        """Source: a receiver's JoinReply made it all the way back to us."""
+        self.connected_receivers.add(jr.receiver)
+        if self.repair_policy is not None:
+            self._rebuild_succeeded((st.source, st.group))
 
     def _reply_overheard(self, jr: JoinReply, st: SessionState) -> None:
         """Default: baselines ignore replies not addressed to them."""
@@ -396,6 +465,9 @@ class OnDemandMulticastAgent(Agent):
             return
         self._route_errors_seen.add(key)
         if self.node_id == pkt.source:
+            if self.repair_policy is not None:
+                self._source_route_error(pkt)
+                return
             # Rebuild with a fresh sequence number after a short debounce.
             self.sim.schedule(
                 float(self._rng().uniform(0.0, self.query_jitter)),
@@ -405,6 +477,25 @@ class OnDemandMulticastAgent(Agent):
             return
         fwd = pkt.clone_for_forwarding(self.node_id)
         self.sim.schedule_fire(float(self._rng().uniform(0.0, self.query_jitter)), self.send, fwd)
+
+    def _prune_route_errors(self, source: int, group: int, seq: int) -> None:
+        """Drop RouteError dedup entries superseded by round ``seq``.
+
+        Without this the per-round dedup keys accumulate forever — a slow
+        leak (and ever-growing set lookups) in long soak runs.  The
+        *previous* round's entries are deliberately kept: in-flight
+        duplicate copies of a RouteError can still arrive after this node
+        accepted the rebuild round they triggered, and re-flooding them
+        would perturb the trace.  Memory is therefore bounded at two
+        rounds' worth of receivers per (source, group).
+        """
+        stale = [
+            e
+            for e in self._route_errors_seen
+            if e[1] == source and e[2] == group and e[3] < seq - 1
+        ]
+        for e in stale:
+            self._route_errors_seen.discard(e)
 
     def start_route_monitor(self, source: int, group: int, interval: float) -> None:
         """Receiver: periodically verify the serving forwarder is alive.
@@ -446,12 +537,386 @@ class OnDemandMulticastAgent(Agent):
             return True
         if serving in self.node.neighbor_table:
             return True
-        self.report_route_failure(source, group, failed_node=serving)
+        if self.repair_policy is not None:
+            self._start_repair(source, group, serving)
+        else:
+            self.report_route_failure(source, group, failed_node=serving)
         return False
+
+    # ------------------------------------------------------------------ #
+    # self-healing layer (active only with a RepairPolicy installed)
+    #
+    # Receiver side: a dead serving forwarder triggers a TTL-scoped
+    # RepairQuery graft burst (bounded retries, exponential backoff) that
+    # escalates to the legacy RouteError flood only on failure, and to an
+    # explicit DEGRADED state once the per-episode RouteError budget is
+    # spent.  Source side: RouteErrors drive bounded rebuild rounds with
+    # backoff; exhaustion degrades the session, after which send_data
+    # falls back to TTL-bounded scoped flooding until a refresh round
+    # brings a JoinReply home again.
+    # ------------------------------------------------------------------ #
+    def _repair_session(self, key: GroupKey) -> RepairSession:
+        rs = self._repair.get(key)
+        if rs is None:
+            rs = self._repair[key] = RepairSession(since=self.sim.now)
+        return rs
+
+    def route_state(self, source: int, group: int) -> RouteState:
+        """Current health of the session at this node (HEALTHY if untracked)."""
+        rs = self._repair.get((source, group))
+        return rs.state if rs is not None else RouteState.HEALTHY
+
+    def _set_route_state(
+        self, key: GroupKey, rs: RepairSession, new: RouteState, reason: str
+    ) -> None:
+        if rs.state is new:
+            return
+        now = self.sim.now
+        rs.time_in[rs.state.value] = rs.time_in.get(rs.state.value, 0.0) + (
+            now - rs.since
+        )
+        rs.since = now
+        rs.state = new
+        self.sim.trace.emit(
+            now,
+            TraceKind.NOTE,
+            self.node_id,
+            "RouteState",
+            (new.value, key[0], key[1], reason),
+        )
+
+    def repair_report(self) -> Dict[str, float]:
+        """Aggregate repair bookkeeping across sessions (reporting helper)."""
+        out = {
+            "episodes": 0,
+            "grafts_ok": 0,
+            "grafts_failed": 0,
+            "time_repairing": 0.0,
+            "time_degraded": 0.0,
+        }
+        now = self.sim.now
+        for rs in self._repair.values():
+            out["episodes"] += rs.episodes
+            out["grafts_ok"] += rs.grafts_ok
+            out["grafts_failed"] += rs.grafts_failed
+            tail = {rs.state.value: now - rs.since}
+            for state, field_name in (
+                (RouteState.REPAIRING, "time_repairing"),
+                (RouteState.DEGRADED, "time_degraded"),
+            ):
+                out[field_name] += rs.time_in.get(state.value, 0.0) + tail.get(
+                    state.value, 0.0
+                )
+        return out
+
+    # -- receiver side: graft machine ---------------------------------- #
+    def _start_repair(self, source: int, group: int, failed_node: int) -> None:
+        key = (source, group)
+        st = self.sessions.get(key)
+        if st is None:
+            # no session to graft — only the legacy flood can help
+            self.report_route_failure(source, group, failed_node=failed_node)
+            return
+        rs = self._repair_session(key)
+        if rs.active or rs.state is RouteState.DEGRADED:
+            return  # episode in flight, or deliberately quiescent
+        if rs.state is RouteState.HEALTHY:
+            rs.episodes += 1
+            rs.route_errors = 0
+        rs.graft_attempt = 0
+        rs.seq = st.seq
+        rs.failed_node = failed_node
+        rs.active = True
+        self._set_route_state(key, rs, RouteState.REPAIRING, "forwarder-lost")
+        self._send_repair_query(key, rs)
+
+    def _send_repair_query(self, key: GroupKey, rs: RepairSession) -> None:
+        policy = self.repair_policy
+        source, group = key
+        attempt = rs.graft_attempt
+        rs.graft_attempt += 1
+        # self-dedup: our own flood copies must not bounce back through us
+        self._repair_seen.add((self.node_id, source, group, rs.seq, attempt))
+        rq = RepairQuery(
+            src=self.node_id,
+            origin=self.node_id,
+            source=source,
+            group=group,
+            seq=rs.seq,
+            failed_node=rs.failed_node,
+            ttl=policy.repair_ttl,
+            attempt=attempt,
+        )
+        self.stats["repair_queries_sent"] += 1
+        self.send(rq)
+        timeout = policy.graft_timeout * policy.backoff_factor**attempt + float(
+            self._rng().uniform(0.0, policy.backoff_jitter)
+        )
+        self.sim.schedule_fire(timeout, self._graft_timeout, key, rs.token)
+
+    def _graft_timeout(self, key: GroupKey, token: int) -> None:
+        rs = self._repair.get(key)
+        if rs is None or not rs.active or rs.token != token:
+            return  # graft succeeded / round reset — stale timer
+        if rs.graft_attempt < self.repair_policy.max_graft_attempts:
+            self._send_repair_query(key, rs)
+            return
+        self._graft_failed(key, rs)
+
+    def _graft_failed(self, key: GroupKey, rs: RepairSession) -> None:
+        policy = self.repair_policy
+        source, group = key
+        rs.active = False
+        rs.grafts_failed += 1
+        self.stats["grafts_failed"] += 1
+        self.sim.trace.emit(
+            self.sim.now,
+            TraceKind.NOTE,
+            self.node_id,
+            "GraftFail",
+            (source, group, rs.seq, rs.graft_attempt),
+        )
+        if rs.route_errors < policy.route_error_budget:
+            rs.route_errors += 1
+            self.report_route_failure(source, group, failed_node=rs.failed_node)
+            # stay REPAIRING: the watchdog re-enters with a fresh burst
+            return
+        self.stats["route_errors_suppressed"] += 1
+        self._set_route_state(key, rs, RouteState.DEGRADED, "budget-exhausted")
+
+    def _repair_round_reset(self, key: GroupKey, seq: int) -> None:
+        """A new JoinQuery round arrived: whatever we were repairing is moot."""
+        rs = self._repair.get(key)
+        if rs is not None:
+            rs.token += 1
+            rs.active = False
+            rs.graft_attempt = 0
+            rs.route_errors = 0
+            rs.rebuild_attempts = 0
+            if rs.state is not RouteState.HEALTHY:
+                self._set_route_state(key, rs, RouteState.HEALTHY, "new-round")
+        self._repair_reverse.pop(key, None)
+        if self._repair_seen:
+            source, group = key
+            stale = [
+                e
+                for e in self._repair_seen
+                if e[1] == source and e[2] == group and e[3] < seq - 1
+            ]
+            for e in stale:
+                self._repair_seen.discard(e)
+
+    # -- graft donors and relays --------------------------------------- #
+    def _can_serve_graft(self, rq: RepairQuery, st: SessionState) -> bool:
+        """Can this node adopt ``rq.origin`` into the forwarding structure?"""
+        if rq.origin in st.downstream_children:
+            return False  # their data delivery depends on us: a loop
+        if self.node_id == st.source:
+            return True
+        soft = self._fg_until.get((st.source, st.group), float("-inf")) > self.sim.now
+        if not (st.is_forwarder or soft):
+            return False
+        up = st.upstream
+        if up is None or up == rq.failed_node:
+            return False  # our own route runs through the dead node
+        return up in self.node.neighbor_table
+
+    def _recv_repair_query(self, rq: RepairQuery) -> None:
+        if self.repair_policy is None:
+            return  # layer off at this node: stay silent
+        if rq.origin == self.node_id:
+            return
+        dedup = (rq.origin, rq.source, rq.group, rq.seq, rq.attempt)
+        if dedup in self._repair_seen:
+            return
+        self._repair_seen.add(dedup)
+        key = (rq.source, rq.group)
+        st = self.sessions.get(key)
+        if st is None or st.seq < rq.seq:
+            return  # we know less than the origin does
+        if self._can_serve_graft(rq, st):
+            self._graft_adopt(rq.src, st)
+            out = RepairReply(
+                src=self.node_id,
+                dst=rq.src,  # link-layer unicast: ACK-protected, overheard
+                nexthop=rq.src,
+                origin=rq.origin,
+                source=rq.source,
+                group=rq.group,
+                seq=rq.seq,
+                attempt=rq.attempt,
+            )
+            self.sim.schedule_fire(
+                float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out
+            )
+            return
+        if rq.ttl <= 1:
+            return  # scope exhausted
+        self._repair_reverse[key] = rq.src
+        fwd = RepairQuery(
+            src=self.node_id,
+            origin=rq.origin,
+            source=rq.source,
+            group=rq.group,
+            seq=rq.seq,
+            failed_node=rq.failed_node,
+            ttl=rq.ttl - 1,
+            attempt=rq.attempt,
+        )
+        self.sim.schedule_fire(
+            float(self._rng().uniform(0.0, self.query_jitter)), self.send, fwd
+        )
+
+    def _recv_repair_reply(self, rp: RepairReply) -> None:
+        if self.repair_policy is None:
+            return
+        key = (rp.source, rp.group)
+        st = self.sessions.get(key)
+        if rp.nexthop != self.node_id:
+            # overheard: the transmitter just proved it has a live route
+            if st is not None and st.seq == rp.seq:
+                self.node.neighbor_table.mark_forwarder(rp.src, st.session)
+            return
+        if rp.origin == self.node_id:
+            rs = self._repair.get(key)
+            if rs is None or not rs.active or st is None:
+                return  # stale (round reset or a parallel graft already won)
+            rs.active = False
+            rs.token += 1
+            rs.grafts_ok += 1
+            rs.route_errors = 0
+            self.stats["grafts_ok"] += 1
+            st.upstream = rp.src
+            st.grafted = True
+            # the watchdog now monitors the new parent, not the dead one
+            self.last_data_from[key] = rp.src
+            self.sim.trace.emit(
+                self.sim.now,
+                TraceKind.NOTE,
+                self.node_id,
+                "GraftOk",
+                (rp.source, rp.group, rp.seq, rp.src),
+            )
+            self._set_route_state(key, rs, RouteState.HEALTHY, "graft-ok")
+            return
+        # relay on the reverse path: splice ourselves into the data flow
+        if st is None:
+            return
+        rev = self._repair_reverse.get(key)
+        if rev is None:
+            return
+        if not st.is_forwarder:
+            self._become_forwarder(st)
+        st.grafted = True
+        st.upstream = rp.src
+        self._graft_adopt(rev, st)
+        out = RepairReply(
+            src=self.node_id,
+            dst=rev,  # link-layer unicast: ACK-protected, overheard
+            nexthop=rev,
+            origin=rp.origin,
+            source=rp.source,
+            group=rp.group,
+            seq=rp.seq,
+            attempt=rp.attempt,
+        )
+        self.sim.schedule_fire(
+            float(self._rng().uniform(0.0, self.reply_jitter)), self.send, out
+        )
+
+    # -- source side: bounded rebuilds --------------------------------- #
+    def _source_route_error(self, pkt: RouteError) -> None:
+        key = (pkt.source, pkt.group)
+        rs = self._repair_session(key)
+        if rs.active or rs.state is RouteState.DEGRADED:
+            return  # rebuild episode in flight / already degraded
+        if rs.state is RouteState.HEALTHY:
+            rs.episodes += 1
+        rs.rebuild_attempts = 0
+        rs.active = True
+        self._set_route_state(key, rs, RouteState.REPAIRING, "route-error")
+        self.sim.schedule_fire(
+            float(self._rng().uniform(0.0, self.query_jitter)),
+            self._do_rebuild,
+            key,
+            rs.token,
+        )
+
+    def _do_rebuild(self, key: GroupKey, token: int) -> None:
+        rs = self._repair.get(key)
+        if rs is None or not rs.active or rs.token != token:
+            return
+        policy = self.repair_policy
+        rs.rebuild_attempts += 1
+        self.stats["repair_rebuilds"] += 1
+        self.request_route(key[1])
+        timeout = policy.rebuild_timeout * policy.backoff_factor ** (
+            rs.rebuild_attempts - 1
+        ) + float(self._rng().uniform(0.0, policy.backoff_jitter))
+        self.sim.schedule_fire(timeout, self._verify_rebuild, key, rs.token)
+
+    def _verify_rebuild(self, key: GroupKey, token: int) -> None:
+        rs = self._repair.get(key)
+        if rs is None or not rs.active or rs.token != token:
+            return  # a JoinReply landed — episode already closed
+        if rs.rebuild_attempts >= self.repair_policy.max_rebuild_attempts:
+            rs.active = False
+            self._set_route_state(key, rs, RouteState.DEGRADED, "rebuild-exhausted")
+            return
+        self._do_rebuild(key, token)
+
+    def _rebuild_succeeded(self, key: GroupKey) -> None:
+        rs = self._repair.get(key)
+        if rs is None or rs.state is RouteState.HEALTHY:
+            return
+        rs.active = False
+        rs.token += 1
+        rs.rebuild_attempts = 0
+        self._set_route_state(key, rs, RouteState.HEALTHY, "reply-received")
+
+    # -- degraded-mode data plane --------------------------------------- #
+    def _recv_scoped_flood(self, pkt: ScopedFloodData) -> None:
+        """TTL-bounded flood forwarding while a session is DEGRADED.
+
+        Deliberately does *not* touch ``last_data_from``: a flood hop is
+        not a route, so the health watchdog must not start monitoring it.
+        """
+        key = pkt.flow_key
+        sim = self.sim
+        if key in self.data_seen:
+            sim.trace.emit(sim.now, TraceKind.DROP, self.node_id, pkt.ptype, "dup")
+            return
+        self.data_seen.add(key)
+        if self.node.is_member(pkt.group) and key not in self.delivered:
+            self.delivered.add(key)
+            sim.trace.emit(sim.now, TraceKind.DELIVER, self.node_id, pkt.ptype, key)
+        if pkt.ttl <= 0:
+            return
+        fwd = pkt.hop(self.node_id)
+        self.stats["degraded_forwards"] += 1
+        sim.trace.emit(
+            sim.now,
+            TraceKind.NOTE,
+            self.node_id,
+            "DegradedForward",
+            (fwd.ttl, pkt.source, pkt.group, pkt.seq),
+        )
+        sim.schedule_fire(
+            float(self._rng().uniform(0.0, self.data_jitter)), self.send, fwd
+        )
 
     # ------------------------------------------------------------------ #
     # subclass hooks
     # ------------------------------------------------------------------ #
+    def _graft_adopt(self, child: int, st: SessionState) -> None:
+        """Adopt ``child`` as a downstream dependent after a graft.
+
+        Subclasses that keep explicit child structure (MAODV's tree links)
+        extend this; the base records the dependency so path handover never
+        picks the child as its own target.
+        """
+        st.downstream_children.add(child)
+
     def compute_relay_profit(self, group: int, session: Session) -> int:
         """RelayProfit at JoinQuery arrival; baselines don't use it."""
         return 0

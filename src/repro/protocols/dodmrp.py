@@ -18,6 +18,10 @@ Delay model::
 
     member:      U(0, jitter)
     non-member:  member_penalty + U(0, jitter)
+
+The optional self-healing layer (``repair_policy``) is inherited
+unchanged from the base class — grafting and degraded-mode delivery are
+orthogonal to the query-backoff bias that defines DODMRP.
 """
 
 from __future__ import annotations

@@ -93,6 +93,10 @@ class GmrAgent(Agent):
 
     protocol_name = "GMR"
 
+    #: stateless forwarding keeps no sessions — nothing to graft or
+    #: degrade, so the self-healing layer has no hooks here
+    supports_repair = False
+
     def __init__(self, forward_jitter: float = 5e-3) -> None:
         super().__init__()
         self.forward_jitter = forward_jitter

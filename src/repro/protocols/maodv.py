@@ -111,3 +111,14 @@ class MaodvAgent(OnDemandMulticastAgent):
     def prune_child(self, source: int, group: int, child: int) -> None:
         """Drop a broken downstream link (MAODV prune)."""
         self.tree_children.get((source, group), set()).discard(child)
+
+    def _graft_adopt(self, child: int, st: SessionState) -> None:
+        """A graft re-attaches ``child`` as an explicit tree link.
+
+        MAODV's strict data plane accepts packets only from the tree
+        parent, so the self-healing layer must record grafted children the
+        same way JoinReply-built branches are recorded — otherwise the
+        donor would forward data the grafted subtree then discards.
+        """
+        super()._graft_adopt(child, st)
+        self.tree_children.setdefault((st.source, st.group), set()).add(child)

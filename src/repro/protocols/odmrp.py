@@ -10,6 +10,11 @@ class implements.  ODMRP-specific behaviour is minimal:
   minimum-latency (≈ shortest) path;
 * every receiver answers the first JoinQuery (no suppression);
 * overheard JoinReplies are ignored (no overhearing optimisations).
+
+Like every session-keeping protocol in the family, ODMRP inherits the
+optional self-healing layer (``repair_policy``) from the base class:
+local grafting, disciplined rebuilds, and degraded-mode scoped flooding
+all operate on the shared SessionState and need no ODMRP-specific code.
 """
 
 from __future__ import annotations

@@ -40,6 +40,26 @@ def test_route_error_entry_exercises_recovery_checkpoint():
     assert report.delivered_receivers == report.n_receivers
 
 
+def test_graft_entry_heals_without_flood():
+    # 007 pins the self-healing happy path: the crash is absorbed by a
+    # local graft, so the run replays clean AND every receiver got data
+    path = CORPUS_DIR / "007-graft-success.json"
+    report = replay_corpus_entry(path, mode="raise")
+    assert report.scenario.repair is not None
+    assert report.delivered_receivers == report.n_receivers
+
+
+def test_degraded_entry_replays_clean():
+    # 008 pins the escalation path: graft fails, the RouteError budget
+    # exhausts, and the partitioned receiver's session earns DEGRADED —
+    # which check_repair validates at the end-of-run checkpoint
+    path = CORPUS_DIR / "008-degraded-fallback.json"
+    report = replay_corpus_entry(path, mode="raise")
+    assert report.scenario.repair is not None
+    assert report.scenario.repair["route_error_budget"] == 1
+    assert report.ok
+
+
 def test_corpus_entries_are_well_formed():
     for path in ENTRIES:
         doc = json.loads(path.read_text())

@@ -1,0 +1,162 @@
+"""Unit + mutation tests for the three self-healing invariants.
+
+Unit layer: hand-built repair sessions and trace records against
+:func:`check_repair` / :func:`scan_degraded` — one clean case and one
+counter-example per violation class, no simulation.
+
+Mutation layer: seed a real bug (a scoped-flood hop that forgets to
+decrement its TTL) into a live run and require the harness to catch it —
+the proof the invariants actually bite, not just compile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.invariants import check_repair, scan_degraded
+from repro.protocols.odmrp import OdmrpAgent
+from repro.protocols.repair import RepairPolicy, RepairSession, RouteState
+from repro.sim.trace import TraceKind, TraceRecord
+
+
+def rec(time, kind, node, ptype=None, detail=None) -> TraceRecord:
+    return TraceRecord(time, kind, node, ptype, detail)
+
+
+class FakeAgent:
+    """The attribute surface ``check_repair`` reads, nothing more."""
+
+    def __init__(self, policy, sessions):
+        self.node_id = 7
+        self.repair_policy = policy
+        self._repair = sessions
+
+
+def session(**kw) -> RepairSession:
+    rs = RepairSession()
+    for k, v in kw.items():
+        setattr(rs, k, v)
+    return rs
+
+
+class TestCheckRepair:
+    def test_flag_off_agents_are_skipped(self):
+        a = FakeAgent(None, {(0, 1): session(route_errors=99)})
+        assert check_repair([a]) == []
+
+    def test_healthy_sessions_are_clean(self):
+        pol = RepairPolicy()
+        a = FakeAgent(pol, {
+            (0, 1): session(),
+            (0, 2): session(state=RouteState.REPAIRING, active=True,
+                            route_errors=1, graft_attempt=1),
+        })
+        assert check_repair([a]) == []
+
+    def test_route_error_budget_overrun_flagged(self):
+        pol = RepairPolicy(route_error_budget=2)
+        a = FakeAgent(pol, {(0, 1): session(route_errors=3)})
+        assert [f.invariant for f in check_repair([a])] == ["no-repair-storm"]
+
+    def test_graft_attempt_overrun_flagged(self):
+        pol = RepairPolicy(max_graft_attempts=2)
+        a = FakeAgent(pol, {(0, 1): session(graft_attempt=3)})
+        assert [f.invariant for f in check_repair([a])] == ["no-repair-storm"]
+
+    def test_rebuild_attempt_overrun_flagged(self):
+        pol = RepairPolicy(max_rebuild_attempts=3)
+        a = FakeAgent(pol, {(0, 1): session(rebuild_attempts=4)})
+        assert [f.invariant for f in check_repair([a])] == ["no-repair-storm"]
+
+    def test_active_episode_outside_repairing_flagged(self):
+        pol = RepairPolicy()
+        a = FakeAgent(pol, {(0, 1): session(active=True)})  # HEALTHY + active
+        assert [f.invariant for f in check_repair([a])] == [
+            "repair-converges-or-degrades"
+        ]
+
+    def test_premature_degradation_flagged(self):
+        # DEGRADED without exhausting either escalation path is giving up
+        pol = RepairPolicy(route_error_budget=2, max_rebuild_attempts=3)
+        a = FakeAgent(pol, {(0, 1): session(state=RouteState.DEGRADED,
+                                            route_errors=0, rebuild_attempts=0)})
+        assert [f.invariant for f in check_repair([a])] == [
+            "repair-converges-or-degrades"
+        ]
+
+    def test_earned_degradation_is_clean(self):
+        pol = RepairPolicy(route_error_budget=2)
+        a = FakeAgent(pol, {(0, 1): session(state=RouteState.DEGRADED,
+                                            route_errors=2)})
+        assert check_repair([a]) == []
+
+
+class TestScanDegraded:
+    def test_decrementing_ttls_are_clean(self):
+        records = [
+            rec(0.1, TraceKind.NOTE, 1, "DegradedForward", (3, 0, 1, 0)),
+            rec(0.2, TraceKind.NOTE, 2, "DegradedForward", (0, 0, 1, 0)),
+        ]
+        assert scan_degraded(records, 0, ttl_limit=4) == []
+
+    def test_undecremented_ttl_flagged(self):
+        records = [rec(0.1, TraceKind.NOTE, 1, "DegradedForward", (4, 0, 1, 0))]
+        out = scan_degraded(records, 0, ttl_limit=4)
+        assert [f.invariant for f in out] == ["degraded-ttl-bounded"]
+
+    def test_negative_ttl_flagged(self):
+        records = [rec(0.1, TraceKind.NOTE, 1, "DegradedForward", (-1, 0, 1, 0))]
+        out = scan_degraded(records, 0, ttl_limit=4)
+        assert [f.invariant for f in out] == ["degraded-ttl-bounded"]
+
+    def test_start_offset_skips_already_scanned_records(self):
+        records = [
+            rec(0.1, TraceKind.NOTE, 1, "DegradedForward", (9, 0, 1, 0)),
+            rec(0.2, TraceKind.NOTE, 2, "DegradedForward", (1, 0, 1, 0)),
+        ]
+        assert scan_degraded(records, 1, ttl_limit=4) == []
+
+
+class TestMutationCatch:
+    """Seeded-bug test: the invariant must catch a real implementation fault."""
+
+    def _degraded_line(self):
+        from tests.core.helpers import build, line_positions, run_round
+
+        policy = RepairPolicy(degraded_ttl=3)
+
+        def factory():
+            a = OdmrpAgent()
+            a.repair_policy = policy
+            return a
+
+        sim, net, agents = build(line_positions(5), 25.0, receivers=[4],
+                                 agent_factory=factory)
+        run_round(sim, agents)
+        rs = agents[0]._repair_session((0, 1))
+        agents[0]._set_route_state((0, 1), rs, RouteState.DEGRADED, "test")
+        return sim, agents, policy
+
+    def test_clean_implementation_passes(self):
+        sim, agents, policy = self._degraded_line()
+        agents[0].send_data(1, seq=1)
+        sim.run(until=sim.now + 1.0)
+        assert scan_degraded(sim.trace.records, 0, policy.degraded_ttl) == []
+
+    def test_forgotten_ttl_decrement_is_caught(self, monkeypatch):
+        from dataclasses import replace
+
+        from repro.net.packet import ScopedFloodData, _uid_counter
+
+        def broken_hop(self, new_src):
+            # the seeded bug: a forwarded copy keeps its incoming TTL,
+            # so the flood never dies out
+            return replace(self, src=new_src, uid=next(_uid_counter))
+
+        monkeypatch.setattr(ScopedFloodData, "hop", broken_hop)
+        sim, agents, policy = self._degraded_line()
+        agents[0].send_data(1, seq=1)
+        sim.run(until=sim.now + 1.0)
+        findings = scan_degraded(sim.trace.records, 0, policy.degraded_ttl)
+        assert findings
+        assert {f.invariant for f in findings} == {"degraded-ttl-bounded"}

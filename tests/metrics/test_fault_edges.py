@@ -1,0 +1,155 @@
+"""Edge cases of the fault/availability metrics.
+
+The chaos campaign leans on these functions under conditions the happy
+path never hits: a fault at t=0, partitions that never recover, and
+back-to-back crashes inside one recovery window.  Latencies must stay
+non-negative and recoveries must never pair across rounds.
+"""
+
+import pytest
+
+from repro.metrics.faults import (
+    mean_time_to_recovery,
+    recovery_latency,
+    route_state_timeline,
+    time_in_state,
+    windowed_delivery,
+)
+from repro.sim.trace import TraceKind, TraceRecorder
+
+
+def _trace(deliveries=(), faults=(), states=()):
+    """deliveries: (time, node, seq); faults: (time, node, kind);
+    states: (time, node, state, reason)."""
+    t = TraceRecorder()
+    for time, node, seq in deliveries:
+        t.emit(time, TraceKind.DELIVER, node, "DataPacket", (0, 1, seq))
+    for time, node, kind in faults:
+        t.emit(time, TraceKind.NOTE, node, "Fault", (kind, "plan"))
+    for time, node, state, reason in states:
+        t.emit(time, TraceKind.NOTE, node, "RouteState", (state, 0, 1, reason))
+    t.records.sort(key=lambda r: r.time)
+    return t
+
+
+class TestFaultAtTimeZero:
+    def test_crash_at_t0_gives_nonnegative_latency(self):
+        # seq 0 sent at t=0 — exactly the crash instant — still counts as
+        # post-crash traffic and must not produce a negative latency
+        t = _trace(
+            deliveries=[(0.4, 4, 0)],
+            faults=[(0.0, 9, "crash")],
+        )
+        lat = recovery_latency(t, [4], crash_time=0.0, send_times={0: 0.0})
+        assert lat is not None and lat >= 0.0
+        assert lat == pytest.approx(0.4)
+
+    def test_mttr_with_crash_at_t0(self):
+        t = _trace(deliveries=[(0.4, 4, 0)], faults=[(0.0, 9, "crash")])
+        mttr, recovered, crashes = mean_time_to_recovery(t, [4], {0: 0.0})
+        assert crashes == 1 and recovered == 1
+        assert mttr == pytest.approx(0.4)
+
+
+class TestNeverRecoveringPartition:
+    def test_mttr_none_when_nothing_recovers(self):
+        # the only receiver is cut off for good: no post-crash delivery
+        t = _trace(
+            deliveries=[(0.2, 4, 0)],
+            faults=[(1.0, 9, "crash")],
+        )
+        mttr, recovered, crashes = mean_time_to_recovery(t, [4], {0: 0.0, 1: 1.5})
+        assert mttr is None
+        assert recovered == 0 and crashes == 1
+
+    def test_crashed_receiver_leaves_empty_surviving_set(self):
+        # every receiver crashed: recovery is undefined, not zero
+        t = _trace(faults=[(1.0, 4, "crash")])
+        mttr, recovered, crashes = mean_time_to_recovery(t, [4], {0: 0.0, 1: 1.5})
+        assert mttr is None and recovered == 0 and crashes == 1
+        assert recovery_latency(t, [4], 1.0, {1: 1.5}, surviving=set()) is None
+
+    def test_windowed_delivery_shows_the_outage(self):
+        t = _trace(deliveries=[(0.2, 4, 0), (0.3, 4, 1)])
+        send_times = {0: 0.0, 1: 0.5, 2: 2.0, 3: 2.5}  # 2 and 3 never arrive
+        out = windowed_delivery(t, [4], send_times, window=1.0)
+        assert out == [(0.0, 1.0), (2.0, 0.0)]
+
+
+class TestBackToBackFaults:
+    def test_latency_never_pairs_across_crashes(self):
+        # two crashes 0.5 s apart; the only post-crash delivery happens
+        # after BOTH — each crash measures to that same delivery, and
+        # neither latency is negative
+        t = _trace(
+            deliveries=[(3.0, 4, 1)],
+            faults=[(1.0, 8, "crash"), (1.5, 9, "crash")],
+        )
+        send_times = {0: 0.0, 1: 2.0}
+        mttr, recovered, crashes = mean_time_to_recovery(t, [4], send_times)
+        assert crashes == 2 and recovered == 2
+        lat_a = recovery_latency(t, [4], 1.0, send_times)
+        lat_b = recovery_latency(t, [4], 1.5, send_times)
+        assert lat_a == pytest.approx(2.0)
+        assert lat_b == pytest.approx(1.5)
+        assert mttr == pytest.approx((2.0 + 1.5) / 2)
+        assert all(v >= 0 for v in (lat_a, lat_b, mttr))
+
+    def test_delivery_between_crashes_only_credits_the_first(self):
+        # seq 1 lands between the two crashes: it recovers crash #1, but
+        # for crash #2 it was sent *before* the crash and must not count
+        t = _trace(
+            deliveries=[(1.4, 4, 1)],
+            faults=[(1.0, 8, "crash"), (1.5, 9, "crash")],
+        )
+        send_times = {1: 1.2}
+        assert recovery_latency(t, [4], 1.0, send_times) == pytest.approx(0.4)
+        assert recovery_latency(t, [4], 1.5, send_times) is None
+
+
+class TestRouteStateAccounting:
+    def test_timeline_is_time_sorted(self):
+        t = _trace(states=[
+            (2.0, 3, "healthy", "graft-ok"),
+            (1.0, 3, "repairing", "forwarder-lost"),
+        ])
+        out = route_state_timeline(t)
+        assert [s for _t, _n, s, _r in out] == ["repairing", "healthy"]
+
+    def test_time_in_state_closes_open_tail(self):
+        t = _trace(states=[
+            (1.0, 3, "repairing", "forwarder-lost"),
+            (3.0, 3, "degraded", "budget-exhausted"),
+        ])
+        out = time_in_state(t, end_time=10.0)
+        assert out["repairing"] == pytest.approx(2.0)
+        assert out["degraded"] == pytest.approx(7.0)
+
+    def test_sessions_account_independently(self):
+        t = TraceRecorder()
+        t.emit(1.0, TraceKind.NOTE, 3, "RouteState", ("repairing", 0, 1, "x"))
+        t.emit(2.0, TraceKind.NOTE, 4, "RouteState", ("repairing", 0, 1, "x"))
+        t.emit(3.0, TraceKind.NOTE, 3, "RouteState", ("healthy", 0, 1, "x"))
+        out = time_in_state(t, end_time=5.0)
+        # node 3: 1->3 repairing; node 4: 2->5 open tail
+        assert out["repairing"] == pytest.approx(2.0 + 3.0)
+
+    def test_empty_trace_yields_empty_dicts(self):
+        t = _trace()
+        assert route_state_timeline(t) == []
+        assert time_in_state(t, end_time=5.0) == {}
+
+
+class TestWindowedDeliveryEdges:
+    def test_empty_inputs(self):
+        t = _trace()
+        assert windowed_delivery(t, [], {0: 0.0}, 1.0) == []
+        assert windowed_delivery(t, [4], {}, 1.0) == []
+        assert windowed_delivery(t, [4], {0: 0.0}, 0.0) == []
+
+    def test_late_delivery_credits_send_window(self):
+        # sent in window 0, delivered during window 3: the availability
+        # question is about the traffic *offered* in window 0
+        t = _trace(deliveries=[(3.5, 4, 0)])
+        out = windowed_delivery(t, [4], {0: 0.2}, window=1.0)
+        assert out == [(0.0, 1.0)]

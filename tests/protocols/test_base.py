@@ -94,6 +94,13 @@ class TestStats:
             "handovers",
             "data_forwarded",
             "route_errors_sent",
+            "repair_queries_sent",
+            "grafts_ok",
+            "grafts_failed",
+            "route_errors_suppressed",
+            "repair_rebuilds",
+            "degraded_data",
+            "degraded_forwards",
         }
 
     def test_session_state_defaults(self):
