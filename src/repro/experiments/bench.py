@@ -3,7 +3,8 @@
 ``python -m repro.experiments bench`` runs one timed workload per hot
 path — event-heap churn, kernel run loop, channel construction (200 and
 2000 nodes), a full MTMRP round, trace queries, warm-start campaign
-execution, pool reuse, dense delivery fan-out — plus a peak-memory probe
+execution, a 500-seed vectorized Monte Carlo batch, pool reuse, dense
+delivery fan-out — plus a peak-memory probe
 of 2000-node channel construction, and writes the machine-readable
 ``BENCH_core.json``.  Each entry carries wall-time, ops/sec, and the
 speedup against :data:`SEED_BASELINE` — the same workloads measured on
@@ -84,12 +85,20 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
 
     results: Dict[str, Dict[str, float]] = {}
 
-    def record(name: str, wall_s: float, ops: float) -> None:
+    def record(
+        name: str, wall_s: float, ops: float, baseline_wall_s: float = None
+    ) -> None:
         entry = {"wall_s": wall_s, "ops": ops, "ops_per_s": ops / wall_s}
-        base = SEED_BASELINE.get(name)
-        if base is not None:
-            entry["baseline_wall_s"] = base
-            entry["speedup"] = base / wall_s
+        base = baseline_wall_s if baseline_wall_s is not None else SEED_BASELINE.get(name)
+        if base is None:
+            # Workloads introduced after the seed tree have no
+            # pre-optimisation measurement: they are their own baseline at
+            # introduction (speedup 1.0), which keeps every entry on the
+            # full schema — compare_to_baseline gates later runs against
+            # the committed wall time.
+            base = wall_s
+        entry["baseline_wall_s"] = base
+        entry["speedup"] = base / wall_s
         results[name] = entry
 
     # -- event heap: 10k pushes then full drain ------------------------- #
@@ -208,13 +217,43 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
     t_warm = time.perf_counter() - t0
     if warm != cold:  # pragma: no cover - determinism violation
         raise AssertionError("warm-start campaign diverged from the cold path")
-    results["campaign_warmstart_50"] = {
-        "wall_s": t_warm,
-        "ops": len(campaign),
-        "ops_per_s": len(campaign) / t_warm,
-        "baseline_wall_s": t_cold,
-        "speedup": t_cold / t_warm,
-    }
+    record("campaign_warmstart_50", t_warm, len(campaign), baseline_wall_s=t_cold)
+
+    # -- vectorized Monte Carlo: 500 replicates of the Fig. 5 scenario -- #
+    # The paper's headline experiment shape: one scenario, hundreds of
+    # seeds, warmup-dominated (90 s HELLO phase on the 400-node grid).
+    # Baseline is the scalar per-seed loop; the batched side plans the
+    # warmup once and replays it into every seed (repro.sim.batch).  Both
+    # sides always run the full 500-seed batch so ``wall_s`` is
+    # comparable across fast/full modes — except the scalar baseline,
+    # which ``fast`` measures over a 50-seed prefix and scales linearly
+    # (replicates are independent, so scalar cost is exactly linear in
+    # seeds; the full run measures all 500 directly).  Per-seed results
+    # are bit-identical — asserted here and by the golden-digest tests.
+    from repro.sim.batch import run_batch  # noqa: F401  (documented entry)
+
+    n_seeds = 500
+    n_scalar = 50 if fast else n_seeds
+    mc_base = SimulationConfig(
+        protocol="mtmrp", topology="grid", group_size=20, mac="ideal",
+        hello_phase=True, hello_warmup=90.0,
+        construction_time=0.5, data_time=0.25,
+    )
+    mc_cfgs = [mc_base.with_(seed=s) for s in range(n_seeds)]
+    t0 = time.perf_counter()
+    scalar = [run_single(c, cache=False) for c in mc_cfgs[:n_scalar]]
+    t_scalar = (time.perf_counter() - t0) * (n_seeds / n_scalar)
+    t0 = time.perf_counter()
+    batched = run_many(mc_cfgs, batch=n_seeds)
+    t_batch = time.perf_counter() - t0
+    if batched[:n_scalar] != scalar:  # pragma: no cover - determinism violation
+        raise AssertionError("batched Monte Carlo diverged from the scalar loop")
+    # columnar post-processing of the whole batch rides along un-timed:
+    # it validates the reduction path at full scale
+    from repro.experiments.runner import aggregate_columnar
+
+    aggregate_columnar(batched)
+    record("montecarlo_500", t_batch, n_seeds, baseline_wall_s=t_scalar)
 
     # -- persistent pool vs per-point pools over a 4-point sweep -------- #
     from concurrent.futures import ProcessPoolExecutor
@@ -254,13 +293,7 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
     t_shared = time.perf_counter() - t0
     if fresh != shared:  # pragma: no cover - determinism violation
         raise AssertionError("shared-pool sweep diverged from per-point pools")
-    results["pool_reuse_sweep"] = {
-        "wall_s": t_shared,
-        "ops": n_runs,
-        "ops_per_s": n_runs / t_shared,
-        "baseline_wall_s": t_fresh,
-        "speedup": t_fresh / t_shared,
-    }
+    record("pool_reuse_sweep", t_shared, n_runs, baseline_wall_s=t_fresh)
 
     # -- dense-path delivery fan-out at 2000 nodes ---------------------- #
     # Shadow fading forces the dense (n, n) geometry; the workload is one
@@ -280,11 +313,15 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
     fan_loss = IidLoss(0.1, np.random.default_rng(17))
 
     def fanout() -> None:
-        ch2000._delivery = [None] * ch2000.n  # rebuild, not replay, the cache
+        # rebuild, not replay, the caches
+        ch2000._delivery = [None] * ch2000.n
+        ch2000._delivery_dsts = [None] * ch2000.n
         for i in range(ch2000.n):
             dl = ch2000._delivery_list(i)
             if dl:
-                fan_loss.frame_lost_batch(i, [e[0] for e in dl])
+                # dst ids come from the channel's cache (built alongside
+                # the delivery list), not a per-frame listcomp
+                fan_loss.frame_lost_batch(i, ch2000._delivery_dsts[i])
 
     record("delivery_fanout_2000", _best_of(fanout, 3 if fast else 5, 1), 2000)
 
@@ -326,11 +363,13 @@ def compare_to_baseline(
 
     Returns ``(name, baseline_value, current_value, ratio)`` for every
     benchmark whose wall time (or peak memory) grew by more than
-    ``threshold`` — the CI regression gate.  Benchmarks present on only
-    one side are skipped, so adding or retiring a workload never breaks
-    the gate.  Wall-time comparisons are only meaningful against a
-    baseline captured on a similar machine (CI compares runner-class
-    against runner-class).
+    ``threshold`` — the CI regression gate.  A benchmark absent from the
+    committed baseline is **first-seen**: it is graded against itself
+    (ratio 1.0, never a regression) this run and against its committed
+    value from the next commit onward, so adding a workload never breaks
+    the gate while retiring one is simply skipped.  Wall-time comparisons
+    are only meaningful against a baseline captured on a similar machine
+    (CI compares runner-class against runner-class).
     """
     payload = json.loads(Path(baseline).read_text())
     base = payload.get("benchmarks", payload)
@@ -338,7 +377,7 @@ def compare_to_baseline(
     for name, entry in results.items():
         ref = base.get(name)
         if ref is None:
-            continue
+            ref = entry  # first-seen workload: self-baseline
         for field in ("wall_s", "peak_mb"):
             if field in entry and field in ref and ref[field] > 0:
                 ratio = entry[field] / ref[field]

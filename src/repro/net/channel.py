@@ -157,6 +157,17 @@ class Channel:
         self._push_fire = sim._queue.push_fire
         self._emit = sim.trace.emit
 
+        # Direct-finish lane (batch kernel): with a perfect channel, no
+        # loss model, and a MAC that never carrier-senses, the radio
+        # pipeline (begin_tx/end_tx, begin/finish_reception) feeds only
+        # the collision verdict — which ``perfect`` overrides — so each
+        # delivery can be one finish event scheduled at transmit time.
+        # Finish ties keep the scalar order: same-frame equal-delay
+        # finishes follow delivery-list order (as the arrival pushes
+        # did), cross-frame ties follow transmit order (as the arrival
+        # execution order did).
+        self.direct_finish = False
+
         # counters useful for profiling and tests
         self.frames_sent = 0
         self.frames_delivered = 0
@@ -175,6 +186,9 @@ class Channel:
         #: per-node delivery fast path: ``[(nbr, delay, rx_power), ...]``,
         #: built lazily per sender on first transmit
         self._delivery: List[Optional[list]] = [None] * n
+        #: dst-id column of each delivery list, cached alongside it so
+        #: per-frame loss batching never re-materialises the id list
+        self._delivery_dsts: List[Optional[list]] = [None] * n
         if self._sparse:
             self._distances = self._rx_power = self._prop_delays = None
             self._grid = SpatialHash(self.positions, self._cell_size)
@@ -214,12 +228,14 @@ class Channel:
         ids, nbr_delays, nbr_powers, delivery = (
             self._neighbor_ids, self._nbr_delays, self._nbr_powers, self._delivery
         )
+        dsts = self._delivery_dsts
         for k, s in enumerate(src):
             a, b = lo[k], hi[k]
             ids[s] = j[a:b]
             nbr_delays[s] = delays[a:b]
             nbr_powers[s] = rx[a:b]
             delivery[s] = None
+            dsts[s] = None
 
     def _recompute_dense(self) -> None:
         """Dense all-pairs geometry (stochastic propagation fallback).
@@ -338,6 +354,7 @@ class Channel:
         # delivery lists embed per-neighbor node references; drop any built
         # before the nodes were bound
         self._delivery = [None] * self.n
+        self._delivery_dsts = [None] * self.n
 
     def neighbors(self, node_id: int) -> np.ndarray:
         """Ids of nodes within communication range of ``node_id``."""
@@ -398,6 +415,9 @@ class Channel:
         else:
             dl = [(n, d, p, radios[n], None) for n, d, p in triples]
         self._delivery[node_id] = dl
+        # cache the dst-id column with the list: the loss fast path (and
+        # the fan-out benchmarks) would otherwise rebuild it per frame
+        self._delivery_dsts[node_id] = [e[0] for e in dl]
         return dl
 
     def transmit(self, node_id: int, packet: "Packet") -> None:
@@ -417,10 +437,12 @@ class Channel:
             return
         bits = packet.size_bits()
         duration = bits / self.bitrate_bps
-        radio = self.radios[node_id]
-        radio.begin_tx(now, duration)
-        end = now + duration
-        self._push_fire(end, radio.end_tx, (end,), -1)
+        direct = self.direct_finish and self.loss is None and nodes
+        if not direct:
+            radio = self.radios[node_id]
+            radio.begin_tx(now, duration)
+            end = now + duration
+            self._push_fire(end, radio.end_tx, (end,), -1)
 
         self.frames_sent += 1
         self._emit(now, TraceKind.TX, node_id, packet.ptype, packet.uid)
@@ -433,6 +455,20 @@ class Channel:
         delivery = self._delivery[node_id]
         if delivery is None:
             delivery = self._delivery_list(node_id)
+        if direct:
+            # one event per delivery, scheduled at the exact instant the
+            # classic arrive->finish chain would have finished:
+            # (now + delay) + duration, same float fold, same priority
+            finish_direct = self._finish_direct
+            self.sim._queue.push_many(
+                [
+                    ((now + delay) + duration, finish_direct, (rnode, nbr, packet))
+                    for nbr, delay, power, radio, rnode in delivery
+                    if rnode.alive and not rnode.asleep
+                ],
+                1,
+            )
+            return
         arrive = self._arrive
         loss = self.loss
         if loss is None:
@@ -454,7 +490,15 @@ class Channel:
             # i.i.d. model vectorises; others fall back to the scalar
             # loop inside frame_lost_batch, draw-for-draw identical)
             live = [e for e in delivery if e[4] is None or e[4].is_active]
-            fates = loss.frame_lost_batch(node_id, [e[0] for e in live])
+            if len(live) == len(delivery):
+                # nobody down: reuse the dst-id column cached when the
+                # delivery list was built instead of re-materialising it
+                dsts = self._delivery_dsts[node_id]
+                if dsts is None:
+                    dsts = self._delivery_dsts[node_id] = [e[0] for e in delivery]
+            else:
+                dsts = [e[0] for e in live]
+            fates = loss.frame_lost_batch(node_id, dsts)
             entries = [
                 (delay, arrive, (radio, rnode, nbr, packet, power, duration, lost))
                 for (nbr, delay, power, radio, rnode), lost in zip(live, fates)
@@ -510,3 +554,26 @@ class Channel:
         else:
             self.frames_collided += 1
             self._emit(now, TraceKind.COLLISION, nbr_id, packet.ptype, packet.uid)
+
+    def _finish_direct(self, node, nbr_id: int, packet: "Packet") -> None:
+        """Frame completion on the direct lane (perfect, lossless, no radio).
+
+        Mirrors the surviving-reception branch of :meth:`_finish` —
+        dead-receiver discard, rx energy, delivery counter, RX record,
+        dispatch — with the reception bookkeeping elided (its only
+        output, the collision verdict, is overridden by ``perfect``).
+        """
+        now = self.sim.now
+        if not node.alive or node.asleep:
+            return
+        bits = packet.size_bits()
+        e = self._rx_energy_cache.get(bits)
+        if e is None:
+            e = self._rx_energy_cache[bits] = self.energy_model.rx_energy(bits)
+        en = node.energy
+        en.rx_joules += e
+        if not en.depleted and en.tx_joules + en.rx_joules >= en.initial_joules:
+            en._check()
+        self.frames_delivered += 1
+        self._emit(now, TraceKind.RX, nbr_id, packet.ptype, packet.uid)
+        node.on_packet_received(packet)

@@ -29,6 +29,11 @@ Counter semantics (all monotone over a run):
 
 Gauges (point-in-time): ``energy_joules``, ``frames_lost``,
 ``frames_sent``, ``frames_collided``, ``pending_events``, ``forwarders``.
+
+Process-wide (not per-run): ``batch_runs`` / ``batch_fallback`` mirror
+``repro.sim.batch.STATS`` — how many Monte Carlo replicates went through
+the vectorized batch kernel versus fell back to the scalar path, plus a
+``batch_fallback.<reason>`` counter per fallback cause.
 """
 
 from __future__ import annotations
@@ -90,6 +95,8 @@ class CounterRegistry:
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {name: 0 for name, _k, _p in _TRACE_COUNTERS}
+        self.counters["batch_runs"] = 0
+        self.counters["batch_fallback"] = 0
         self.gauges: Dict[str, float] = {}
         self._trace: Optional[TraceRecorder] = None
         self._net = None
@@ -145,6 +152,17 @@ class CounterRegistry:
                 "mac_dropped_retry",
                 sum(getattr(n.mac, "dropped_retry", 0) for n in self._net.nodes),
             )
+        # Monte Carlo batching stats (process-wide, see repro.sim.batch.STATS):
+        # runs served by the vectorized kernel vs scalar fallbacks, with one
+        # reason-tagged counter per fallback cause.  This is the
+        # ``batch_fallback`` signal PERFORMANCE.md tells readers to check
+        # when a campaign is slower than expected.
+        from repro.sim.batch import STATS as _batch_stats
+
+        self.counters["batch_runs"] = _batch_stats.batched_runs
+        self.counters["batch_fallback"] = _batch_stats.fallback_runs
+        for reason, n in _batch_stats.fallback_reasons.items():
+            self.counters[f"batch_fallback.{reason}"] = n
         return self
 
     # ------------------------------------------------------------------ #

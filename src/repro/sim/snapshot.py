@@ -38,6 +38,7 @@ than a fork, so campaign drivers gate warm starts on
 from __future__ import annotations
 
 import copy
+import io
 import pickle
 from collections import OrderedDict
 from typing import TYPE_CHECKING, List, NamedTuple, Optional, Tuple
@@ -229,20 +230,116 @@ def build_prefix(
     return ForkedPrefix(sim, net, receivers, positions)
 
 
+#: bit-generator classes :func:`_rebuild_generator` can reconstruct.
+_BIT_GENERATORS = {
+    name: getattr(np.random, name)
+    for name in ("PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937")
+    if hasattr(np.random, name)
+}
+
+
+def _rebuild_generator(state: dict) -> np.random.Generator:
+    """Rebuild a ``Generator`` from its bit-generator state dict.
+
+    numpy's own unpickling constructs the bit generator with a fresh
+    entropy-pool seed (OS entropy + seed sequence spreading) and then
+    overwrites the state — roughly half the cost of unpickling a
+    generator, all wasted.  Seeding from the constant 0 and assigning
+    the captured state lands on the identical generator in half the
+    time (state assignment fully determines the output stream).
+    """
+    bg = _BIT_GENERATORS[state["bit_generator"]](0)
+    bg.state = state
+    return np.random.Generator(bg)
+
+
+class _PrefixPickler(pickle.Pickler):
+    """Capture-side pickler: shared immutables + cheap generator rebuilds.
+
+    ``shared_ids`` maps ``id(obj)`` to a small-int token for objects every
+    fork may reference *in place* (see ``_shared_prefix_state``); numpy
+    ``Generator`` objects are swapped for :func:`_rebuild_generator` so
+    forks skip the entropy-seeding constructor.
+    """
+
+    def __init__(self, buf, shared_ids: dict) -> None:
+        super().__init__(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        self._shared_ids = shared_ids
+
+    def persistent_id(self, obj):
+        return self._shared_ids.get(id(obj))
+
+    def reducer_override(self, obj):
+        if type(obj) is np.random.Generator:
+            return (_rebuild_generator, (obj.bit_generator.state,))
+        return NotImplemented
+
+
+class _PrefixUnpickler(pickle.Unpickler):
+    def __init__(self, buf, shared: list) -> None:
+        super().__init__(buf)
+        self._shared = shared
+
+    def persistent_load(self, pid):
+        return self._shared[pid]
+
+
+def _shared_prefix_state(prefix: ForkedPrefix) -> list:
+    """Immutable objects forks may share instead of reconstructing.
+
+    Geometry state is *replace-only* after construction: mobility and
+    row rebuilds assign fresh arrays into the row lists and rebind
+    ``positions``/``_grid`` wholesale, never writing existing arrays in
+    place.  Sharing the array objects across forks is therefore safe —
+    a fork that moves nodes swaps in its own arrays and the siblings
+    keep seeing the capture-time geometry.  The *containers* (row lists,
+    the grid object) stay per-fork.
+
+    Only the sparse backend's row arrays qualify; the dense path (used
+    under stochastic propagation) keeps whole matrices whose mutation
+    discipline this function does not audit, so they ride in the blob.
+    """
+    ch = prefix.net.channel
+    shared: list = [prefix.positions]
+    if ch is not None:
+        for attr in ("_neighbor_ids", "_nbr_delays", "_nbr_powers"):
+            rows = getattr(ch, attr, None)
+            if isinstance(rows, list):
+                shared.extend(a for a in rows if isinstance(a, np.ndarray))
+        grid = getattr(ch, "_grid", None)
+        if grid is not None:
+            shared.extend(
+                v for v in vars(grid).values() if isinstance(v, np.ndarray)
+            )
+    return shared
+
+
 class WarmSnapshot:
     """Frozen prefix state; :meth:`fork` yields independent live copies.
 
     The captured object graph is serialised immediately (one blob), so
     the snapshot itself can never be mutated by a continuation and every
-    fork is a fresh materialisation.  Object graphs that refuse to pickle
-    (exotic user extensions) fall back to per-fork ``copy.deepcopy`` of a
-    private live copy.
+    fork is a fresh materialisation.  Three classes of capture-time state
+    are handed to forks without a per-fork rebuild: immutable geometry
+    arrays (shared in place via a ``persistent_id`` pickler), the prefix
+    trace records (immutable tuples, shared through one C-level list
+    copy per fork), and rng generators (rebuilt from raw state, skipping
+    the entropy-seeding constructor).  The capture recorder is also
+    pre-indexed, so forks inherit ready trace indexes and metrics
+    queries only index the records their own suffix appends.  Object
+    graphs that refuse to pickle (exotic user extensions) fall back to
+    per-fork ``copy.deepcopy`` of a private live copy.
     """
 
-    __slots__ = ("key", "uid_base", "uid_end", "n_forks", "_blob", "_live")
+    __slots__ = (
+        "key", "uid_base", "uid_end", "n_forks", "_blob", "_live",
+        "_shared", "_prefix_records",
+    )
 
     def __init__(self, key: tuple, uid_base: int, uid_end: int,
-                 blob: Optional[bytes], live: Optional[ForkedPrefix]) -> None:
+                 blob: Optional[bytes], live: Optional[ForkedPrefix],
+                 shared: Optional[list] = None,
+                 prefix_records: Optional[Tuple] = None) -> None:
         self.key = key
         #: packet-uid counter value when the capture build began
         self.uid_base = uid_base
@@ -251,6 +348,10 @@ class WarmSnapshot:
         self.n_forks = 0
         self._blob = blob
         self._live = live
+        self._shared = shared if shared is not None else []
+        #: records detached by :meth:`capture` (None: records are in the
+        #: blob — snapshots built from externally pickled state)
+        self._prefix_records = prefix_records
 
     @classmethod
     def capture(
@@ -275,13 +376,26 @@ class WarmSnapshot:
         uid_base = current_uid()
         prefix = build_prefix(cfg, trace=recorder)
         uid_end = current_uid()
+        # pre-index now so every fork inherits ready trace indexes
+        recorder._reindex()
+        # detach the records for out-of-band sharing: each fork receives
+        # a shallow list copy (the records are immutable tuples), instead
+        # of unpickling every record again
+        prefix_records = tuple(recorder.records)
+        recorder.records = []
+        shared = _shared_prefix_state(prefix)
+        shared_ids = {id(o): i for i, o in enumerate(shared)}
         try:
-            blob = pickle.dumps(tuple(prefix), protocol=pickle.HIGHEST_PROTOCOL)
+            buf = io.BytesIO()
+            _PrefixPickler(buf, shared_ids).dump(tuple(prefix))
+            blob = buf.getvalue()
             live = None
         except Exception:
             blob = None
             live = prefix  # never run further; deepcopied per fork
-        return cls(key, uid_base, uid_end, blob, live)
+        finally:
+            recorder.records = list(prefix_records)
+        return cls(key, uid_base, uid_end, blob, live, shared, prefix_records)
 
     @property
     def size_bytes(self) -> int:
@@ -299,7 +413,13 @@ class WarmSnapshot:
         from repro.net.packet import reset_uids
 
         if self._blob is not None:
-            sim, net, receivers, positions = pickle.loads(self._blob)
+            sim, net, receivers, positions = _PrefixUnpickler(
+                io.BytesIO(self._blob), self._shared
+            ).load()
+            if self._prefix_records is not None:
+                # the blob carries an empty records list (pre-indexed to
+                # the boundary); hand this fork its own record-list copy
+                sim.trace.records = list(self._prefix_records)
         else:
             sim, net, receivers, positions = copy.deepcopy(tuple(self._live))
         self.n_forks += 1

@@ -92,6 +92,26 @@ class TestBenchGate:
         assert (base, cur) == (10.0, 14.0) and ratio == pytest.approx(1.4)
         assert compare_to_baseline(results, baseline, threshold=0.5) == []
 
+    def test_first_seen_workload_is_its_own_baseline(self, tmp_path):
+        """A benchmark absent from the committed file never regresses.
+
+        Regression guard for the schema gap where newly introduced
+        workloads were silently skipped by the gate *and* written without
+        ``baseline_wall_s``/``speedup``: first-seen entries now grade
+        against themselves (ratio 1.0) no matter how slow they are.
+        """
+        from repro.experiments.bench import compare_to_baseline
+
+        baseline = tmp_path / "BENCH_core.json"
+        baseline.write_text(json.dumps({"benchmarks": {
+            "old": {"wall_s": 1.0},
+        }}))
+        results = {
+            "old": {"wall_s": 1.0},
+            "brand_new": {"wall_s": 1e6},  # huge, but first-seen
+        }
+        assert compare_to_baseline(results, baseline, threshold=0.25) == []
+
     def test_append_history_grows_one_row_per_run(self, tmp_path):
         from repro.experiments.bench import append_history
 

@@ -140,3 +140,35 @@ def test_fixed_cw_for_broadcast():
     p = CsmaParams()
     assert p.cw_min < p.cw_max
     assert p.retry_limit == 7
+
+
+def test_backoff_block_prefetch_is_scalar_equivalent(monkeypatch):
+    """The block-prefetched backoff draws are draw-for-draw scalar.
+
+    With ``_BACKOFF_BLOCK=1`` every backoff is a fresh single draw — the
+    scalar reference by construction.  A full contention-heavy run must
+    produce the bit-identical trace at the production block size,
+    including across contention-window changes (unicast retry doubling),
+    which exercise the rewind-and-redraw reconciliation.
+    """
+    import repro.mac.csma as csma_mod
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.runner import run_single
+    from repro.net.packet import reset_uids
+    from repro.sim.trace import TraceRecorder, trace_digest
+
+    cfg = SimulationConfig(
+        protocol="mtmrp", topology="grid", grid_nx=5, grid_ny=5, side=100.0,
+        group_size=5, mac="csma", seed=17,
+    )
+    reset_uids()
+    tr_block = TraceRecorder()
+    res_block = run_single(cfg, trace=tr_block, cache=False)
+
+    monkeypatch.setattr(csma_mod, "_BACKOFF_BLOCK", 1)
+    reset_uids()
+    tr_scalar = TraceRecorder()
+    res_scalar = run_single(cfg, trace=tr_scalar, cache=False)
+
+    assert trace_digest(tr_block) == trace_digest(tr_scalar)
+    assert res_block == res_scalar

@@ -219,7 +219,7 @@ def test_deepcopy_fallback_when_unpicklable(monkeypatch):
     def refuse(*args, **kwargs):
         raise TypeError("unpicklable extension object")
 
-    monkeypatch.setattr(snapshot_mod.pickle, "dumps", refuse)
+    monkeypatch.setattr(snapshot_mod._PrefixPickler, "dump", refuse)
     reset_uids()
     snap = WarmSnapshot.capture(cfg)
     assert snap._blob is None and snap.size_bytes == 0
