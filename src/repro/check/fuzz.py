@@ -43,6 +43,9 @@ from repro.faults.plan import FaultPlan
 from repro.protocols.repair import RepairPolicy
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceKind, TraceRecorder, trace_digest
+from repro.traffic.engine import install_session_members, schedule_sessions
+from repro.traffic.metrics import session_deliveries
+from repro.traffic.spec import active_sessions
 
 __all__ = [
     "Scenario",
@@ -82,6 +85,13 @@ BOUNDS = {
     "refresh_interval": (1.0, 2.5),
     "repair_ttl": (1, 2),
     "degraded_ttl": (3, 5),
+    # multi-session axis: 2-4 concurrent flows (1 = the legacy path),
+    # small per-flow groups, staggered starts within a second
+    "max_sessions": 4,
+    "session_group_max": 4,
+    "session_start": (0.0, 1.0),
+    "session_packets": (1, 3),
+    "session_rate": (5.0, 20.0),
     "seed_max": 2**31 - 1,
 }
 
@@ -126,6 +136,8 @@ class Scenario:
             f"{cfg.protocol}/{cfg.topology}({cfg.n_nodes})",
             f"grp={cfg.group_size}", f"seed={cfg.seed}", f"mac={cfg.mac}",
         ]
+        if cfg.sessions is not None:
+            bits.append(f"sessions={len(cfg.sessions)}")
         if cfg.loss_model != "none":
             bits.append(f"loss={cfg.loss_model}")
         if self.faults:
@@ -201,7 +213,25 @@ def run_scenario(
     receivers = [
         int(r) for r in rng.choice(candidates, size=cfg.group_size, replace=False)
     ]
-    net.set_group_members(cfg.group, receivers)
+    sess_plan = active_sessions(cfg)
+    session_recv = None
+    if sess_plan is None:
+        net.set_group_members(cfg.group, receivers)
+    else:
+        # the legacy draw's membership only lands when a session reuses
+        # it (mirrors build_prefix) — otherwise a plan session on
+        # cfg.group would see the union of both draws
+        if any(
+            s.receivers is None
+            and s.source == cfg.source
+            and s.group == cfg.group
+            and s.group_size == cfg.group_size
+            for s in sess_plan
+        ):
+            net.set_group_members(cfg.group, receivers)
+        session_recv = install_session_members(
+            cfg, sim, net, sess_plan, legacy_receivers=receivers
+        )
     if cfg.hello_phase:
         net.install_hello(period=cfg.hello_period)
     agents = net.install(make_agent_factory(cfg))
@@ -214,7 +244,9 @@ def run_scenario(
             if getattr(a, "supports_repair", False):
                 a.repair_policy = policy
     net.start()
-    harness.bind_network(net, agents, cfg.source, cfg.group, receivers)
+    harness.bind_network(
+        net, agents, cfg.source, cfg.group, receivers, sessions=session_recv
+    )
 
     if scenario.mobility is not None:
         from repro.net.mobility import RandomWaypointMobility
@@ -229,6 +261,54 @@ def run_scenario(
         sim.run(until=cfg.hello_warmup)  # let tables converge the real way
     else:
         net.bootstrap_neighbor_tables()
+
+    if sess_plan is not None:
+        # multi-session traffic: the generic engine drives every flow's
+        # discovery + CBR schedule; refresh/monitor stressors apply per
+        # session
+        t0 = sim.now
+        horizon = schedule_sessions(
+            cfg, sim, net, agents, sess_plan, session_recv, t0=t0
+        )
+        sim.run(
+            until=t0
+            + min(s.start for s in sess_plan)
+            + cfg.effective_construction_time
+        )
+        harness.checkpoint("route-discovery")
+        if scenario.refresh_interval is not None:
+            for spec in sess_plan:
+                agents[spec.source].start_periodic_refresh(
+                    spec.group, scenario.refresh_interval
+                )
+                if cfg.hello_phase:
+                    for r in session_recv[spec.flow]:
+                        agents[r].start_route_monitor(
+                            spec.source, spec.group, interval=1.0
+                        )
+        drain = (scenario.refresh_interval or 0.0) + 1.0
+        sim.run(until=horizon + drain)
+        if scenario.refresh_interval is not None:
+            for spec in sess_plan:
+                agents[spec.source].stop_periodic_refresh(spec.group)
+        harness.checkpoint("end-of-run")
+        harness.detach()
+        delivered_n = 0
+        n_recv = 0
+        for spec in sess_plan:
+            recv = set(session_recv[spec.flow])
+            nodes, _total = session_deliveries(trace, spec.flow)
+            delivered_n += len(nodes & recv)
+            n_recv += len(recv)
+        return ScenarioReport(
+            scenario=scenario,
+            violations=tuple(harness.report.violations),
+            checkpoints=tuple(harness.report.checkpoints),
+            delivered_receivers=delivered_n,
+            n_receivers=n_recv,
+            data_transmissions=trace.count(TraceKind.TX, "DataPacket"),
+            trace_sha256=trace_digest(trace),
+        )
 
     src = agents[cfg.source]
     src.request_route(cfg.group)
@@ -269,6 +349,37 @@ def run_scenario(
 # --------------------------------------------------------------------- #
 # generators
 # --------------------------------------------------------------------- #
+def _draw_sessions_np(
+    rng: np.random.Generator, n: int, group_size: int
+) -> Tuple[Dict[str, Any], ...]:
+    """2-4 concurrent sessions: the first is the config's own flow (so the
+    legacy receiver draw is reused), the rest get fresh groups with small
+    receiver sets, staggered starts and short CBR streams."""
+    b = BOUNDS
+    k = int(rng.integers(2, b["max_sessions"] + 1))
+    specs = []
+    for i in range(k):
+        if i == 0:
+            source, group, gsize = 0, 1, group_size
+        else:
+            source = int(rng.integers(0, n))
+            group = 1 + i
+            gsize = int(rng.integers(1, min(b["session_group_max"], n - 1) + 1))
+        specs.append(
+            {
+                "source": source,
+                "group": group,
+                "group_size": gsize,
+                "start": float(rng.uniform(*b["session_start"])),
+                "rate_pps": float(rng.uniform(*b["session_rate"])),
+                "n_packets": int(
+                    rng.integers(b["session_packets"][0], b["session_packets"][1] + 1)
+                ),
+            }
+        )
+    return tuple(specs)
+
+
 def random_scenario(rng: np.random.Generator) -> Scenario:
     """Draw one scenario from :data:`BOUNDS` (CLI campaign generator)."""
     b = BOUNDS
@@ -306,6 +417,8 @@ def random_scenario(rng: np.random.Generator) -> Scenario:
             ge_p_good_bad=float(rng.uniform(*b["ge_p_good_bad"])),
             ge_p_bad_good=float(rng.uniform(*b["ge_p_bad_good"])),
         )
+    if rng.random() < 0.3:
+        cfg_kwargs["sessions"] = _draw_sessions_np(rng, n, cfg_kwargs["group_size"])
     cfg = SimulationConfig(**cfg_kwargs)
 
     faults: Tuple[Dict[str, Any], ...] = ()
@@ -410,6 +523,32 @@ def scenario_strategy():
                 ge_p_good_bad=draw(st.floats(*b["ge_p_good_bad"], allow_nan=False)),
                 ge_p_bad_good=draw(st.floats(*b["ge_p_bad_good"], allow_nan=False)),
             )
+        if draw(st.booleans()):
+            k = draw(st.integers(2, b["max_sessions"]))
+            specs = []
+            for i in range(k):
+                if i == 0:
+                    source, group = 0, 1
+                    gsize = cfg_kwargs["group_size"]
+                else:
+                    source = draw(st.integers(0, n - 1))
+                    group = 1 + i
+                    gsize = draw(st.integers(1, min(b["session_group_max"], n - 1)))
+                specs.append(
+                    {
+                        "source": source,
+                        "group": group,
+                        "group_size": gsize,
+                        "start": draw(
+                            st.floats(*b["session_start"], allow_nan=False)
+                        ),
+                        "rate_pps": draw(
+                            st.floats(*b["session_rate"], allow_nan=False)
+                        ),
+                        "n_packets": draw(st.integers(*b["session_packets"])),
+                    }
+                )
+            cfg_kwargs["sessions"] = tuple(specs)
         cfg = SimulationConfig(**cfg_kwargs)
 
         window = cfg.effective_construction_time + 2.0

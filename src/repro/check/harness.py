@@ -114,8 +114,10 @@ class CheckHarness:
         self._net = None
         self._agents: Sequence = ()
         self._source: Optional[int] = None
-        self._members: Optional[Set[int]] = None
+        self._members: Optional[Any] = None
         self._receivers: Tuple[int, ...] = ()
+        #: multi-session runs: flow (source, group) -> receiver tuple
+        self._sessions: Optional[Dict[Tuple[int, int], Tuple[int, ...]]] = None
         self._watcher = None
         # incremental checker state
         self._scan_pos = 0
@@ -167,13 +169,33 @@ class CheckHarness:
         source: int,
         group: int,
         receivers: Sequence[int],
+        sessions: Optional[Dict[Tuple[int, int], Sequence[int]]] = None,
     ) -> None:
-        """Point the harness at the built deployment — call after install()."""
+        """Point the harness at the built deployment — call after install().
+
+        ``sessions`` (multi-session runs) maps each flow's
+        ``(source, group)`` key to its installed receiver set; membership
+        and feasible-forwarding checks then run *per session* instead of
+        against the single configured group.
+        """
         self._net = net
         self._agents = agents
         self._source = int(source)
         self._receivers = tuple(int(r) for r in receivers)
-        self._members = {n.node_id for n in net.nodes if n.is_member(group)}
+        if sessions is not None:
+            self._sessions = {
+                (int(s), int(g)): tuple(int(r) for r in recv)
+                for (s, g), recv in sessions.items()
+            }
+            # per-group membership for the deliver-membership scan; the
+            # session's source may legitimately deliver too (loopback is
+            # filtered at the agent), so membership is what the nodes say
+            self._members = {
+                g: {n.node_id for n in net.nodes if n.is_member(g)}
+                for (_s, g) in self._sessions
+            }
+        else:
+            self._members = {n.node_id for n in net.nodes if n.is_member(group)}
         self._positions0 = net.positions.copy()
         # the channel caches a bound trace.emit at construction; if the
         # harness was attached afterwards, rebind so the RouteError
@@ -248,16 +270,19 @@ class CheckHarness:
             transmitters: Set[int] = set()
             for ptype in DATA_PACKET_TYPES:
                 transmitters |= trace.nodes_with(TraceKind.TX, ptype)
-            delivered = trace.nodes_with(TraceKind.DELIVER)
-            findings.extend(
-                check_feasible_forwarding(
-                    self._net.graph(),
-                    self._source,
-                    self._receivers,
-                    transmitters,
-                    delivered,
+            if self._sessions is not None:
+                findings.extend(self._check_session_forwarding(transmitters))
+            else:
+                delivered = trace.nodes_with(TraceKind.DELIVER)
+                findings.extend(
+                    check_feasible_forwarding(
+                        self._net.graph(),
+                        self._source,
+                        self._receivers,
+                        transmitters,
+                        delivered,
+                    )
                 )
-            )
 
         violations = [
             InvariantViolation(
@@ -269,6 +294,45 @@ class CheckHarness:
             raise violations[0]
         self.report.violations.extend(violations)
         return violations
+
+    def _check_session_forwarding(self, tx_nodes: Set[int]) -> List[Finding]:
+        """Per-session Sec. III feasibility on a multi-session run.
+
+        TX trace details carry only packet uids, so per-session
+        transmitters come from the protocol layer's own accounting
+        (``data_tx_by_session``), intersected with the nodes that really
+        have a data TX record — a scheduled forward swallowed by a crash
+        claims no airtime.  Sessions whose agents keep no such accounting
+        (stateless relays, e.g. geographic forwarding) are skipped: there
+        is no per-session transmitter claim to validate.
+        """
+        findings: List[Finding] = []
+        graph = self._net.graph()
+        trace = self._sim.trace
+        for (source, group), receivers in self._sessions.items():
+            claimed: Set[int] = set()
+            for agent in self._agents:
+                counts = getattr(agent, "data_tx_by_session", None)
+                if counts and counts.get((source, group), 0) > 0:
+                    claimed.add(agent.node_id)
+            if not claimed:
+                continue
+            delivered: Set[int] = set()
+            for rec in trace.filter(TraceKind.DELIVER):
+                d = rec.detail
+                if (
+                    isinstance(d, tuple)
+                    and len(d) == 3
+                    and d[0] == source
+                    and d[1] == group
+                ):
+                    delivered.add(rec.node)
+            findings.extend(
+                check_feasible_forwarding(
+                    graph, source, receivers, claimed & tx_nodes, delivered
+                )
+            )
+        return findings
 
     def _repair_ttl_limit(self) -> Optional[int]:
         """Largest installed ``degraded_ttl`` across agents (None = layer off).

@@ -84,7 +84,7 @@ def scan_trace(
     last_time: float,
     crashed: Set[int],
     asleep: Set[int],
-    members: Optional[Set[int]],
+    members: Optional[object],
 ) -> Tuple[List[Finding], float]:
     """One forward pass over ``records[start:]``.
 
@@ -93,8 +93,19 @@ def scan_trace(
     down-state sets from the interleaved ``NOTE "Fault"`` records.
     Returns the findings and the new high-water timestamp; the caller
     advances its own scan position.
+
+    ``members`` is either a flat ``Set[int]`` (single-session runs) or a
+    ``Dict[int, Set[int]]`` mapping group id to that group's members
+    (multi-session runs).  DELIVER details carry the flow key
+    ``(source, group, seq)``, so the per-group form checks each delivery
+    against *its own* group's membership; records whose group is unknown
+    (or whose detail carries no flow key) fall back to the union.
     """
     findings: List[Finding] = []
+    by_group: Optional[Dict[int, Set[int]]] = None
+    if isinstance(members, dict):
+        by_group = members
+        members = set().union(*by_group.values()) if by_group else set()
     for pos in range(start, len(records)):
         rec = records[pos]
         if rec.time < last_time:
@@ -140,7 +151,12 @@ def scan_trace(
                     )
                 )
         elif kind is TraceKind.DELIVER and members is not None:
-            if rec.node not in members:
+            allowed = members
+            if by_group is not None:
+                d = rec.detail
+                if isinstance(d, tuple) and len(d) == 3 and d[1] in by_group:
+                    allowed = by_group[d[1]]
+            if rec.node not in allowed:
                 findings.append(
                     Finding(
                         "deliver-membership",

@@ -231,6 +231,12 @@ def _run_chaos(args) -> None:
     run_chaos(args)
 
 
+def _run_traffic(args) -> None:
+    from repro.experiments.traffic import run_traffic
+
+    run_traffic(args)
+
+
 COMMANDS = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -246,11 +252,12 @@ COMMANDS = {
     "check": _run_check,
     "obs": _run_obs,
     "chaos": _run_chaos,
+    "traffic": _run_traffic,
 }
 
 #: Utility commands excluded from ``all`` (they measure the machine, not
 #: the paper).
-_NON_FIGURE = {"bench", "scaling", "check", "obs", "chaos"}
+_NON_FIGURE = {"bench", "scaling", "check", "obs", "chaos", "traffic"}
 
 
 def main(argv=None) -> int:
@@ -312,6 +319,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--obs-protocol", default="mtmrp",
         help="obs: protocol to observe (mtmrp, odmrp, dodmrp, maodv, gmr)",
+    )
+    parser.add_argument(
+        "--traffic-sessions", type=int, default=8,
+        help="traffic: maximum concurrent session count in the ramp",
+    )
+    parser.add_argument(
+        "--traffic-campaign", action="store_true",
+        help="traffic: CI soak mode — --runs checked 4-session runs plus "
+             "the flag-off digest guard; exits non-zero on any violation",
     )
     args = parser.parse_args(argv)
 

@@ -187,6 +187,26 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
 
     record("trace_queries_50k", _best_of(queries, 3 if fast else 5, 1), 60)
 
+    # -- 8 concurrent multicast sessions on one grid --------------------- #
+    # The multi-session regime the traffic engine exists for: the ramp
+    # plan's top rung (8 staggered CBR flows) through the generic
+    # scheduled path with per-session metrics collection.  The sanity
+    # assertion pins the quantity the workload measures — cross-session
+    # forwarder sharing — so the timing can't silently degenerate into a
+    # no-traffic run.
+    from repro.traffic.spec import ramp_plan
+
+    ms_base = SimulationConfig(protocol="mtmrp", topology="grid", seed=5)
+    ms_cfg = ms_base.with_(sessions=ramp_plan(ms_base, 8))
+    ms_probe = run_single(ms_cfg, cache=False)  # warm imports un-timed
+    if ms_probe.traffic is None or ms_probe.traffic.forwarding_nodes == 0:
+        raise AssertionError("multisession_8x produced no forwarding state")
+    record(
+        "multisession_8x",
+        _best_of(lambda: run_single(ms_cfg, cache=False), 3 if fast else 5, 1),
+        8,
+    )
+
     # -- warm-start campaign: 50 hello-phase runs, cold vs forked ------- #
     # 25 (N, w) tuning cells x 2 seeds, every run paying a 15 s HELLO
     # warmup.  The cold side rebuilds the prefix per run (exactly what

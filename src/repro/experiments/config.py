@@ -10,12 +10,13 @@ nodes (``setdest`` equivalent, S4); source at (0, 0); transmission range
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.node import Node
+    from repro.traffic.spec import SessionSpec
 
 __all__ = [
     "SimulationConfig",
@@ -91,6 +92,13 @@ class SimulationConfig:
     # tracing: keep RX records (needed for data-plane tree extraction)
     keep_rx_records: bool = False
 
+    #: concurrent multicast sessions (see :mod:`repro.traffic`).  None
+    #: (default) — and a trivially default single-session plan — run the
+    #: legacy single-session path byte-identically; anything else drives
+    #: the generic scheduled traffic engine.  Accepts SessionSpec tuples,
+    #: a TrafficPlan, or dict payloads (JSON round-trips).
+    sessions: Optional[Tuple["SessionSpec", ...]] = None
+
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOL_LABELS:
             raise ValueError(f"unknown protocol {self.protocol!r}")
@@ -103,6 +111,36 @@ class SimulationConfig:
         n = self.n_nodes
         if not (0 < self.group_size < n):
             raise ValueError(f"group_size {self.group_size} not in (0, {n})")
+        if self.sessions is not None:
+            from repro.traffic.spec import SessionSpec, TrafficPlan
+
+            raw = self.sessions
+            if isinstance(raw, TrafficPlan):
+                raw = raw.sessions
+            specs = tuple(
+                s if isinstance(s, SessionSpec) else SessionSpec.from_dict(dict(s))
+                for s in raw
+            )
+            if not specs:
+                raise ValueError("sessions must hold at least one SessionSpec")
+            # TrafficPlan's constructor owns the flow/group-uniqueness rules
+            TrafficPlan(sessions=specs)
+            for spec in specs:
+                if not 0 <= spec.source < n:
+                    raise ValueError(f"session source {spec.source} not in [0, {n})")
+                if spec.receivers is not None:
+                    bad = [r for r in spec.receivers if not 0 <= r < n or r == spec.source]
+                    if bad:
+                        raise ValueError(
+                            f"session {spec.flow} receivers {bad} invalid for "
+                            f"{n} nodes (source excluded)"
+                        )
+                elif not 0 < spec.group_size < n:
+                    raise ValueError(
+                        f"session {spec.flow} group_size {spec.group_size} "
+                        f"not in (0, {n})"
+                    )
+            object.__setattr__(self, "sessions", specs)
 
     @property
     def n_nodes(self) -> int:

@@ -76,7 +76,9 @@ __all__ = [
 #: Bump whenever a change alters what a run computes for the *same*
 #: config (new metrics, different semantics) — stale cache entries become
 #: unreachable because the version participates in :func:`config_hash`.
-CACHE_VERSION = 1
+#: v2: the config grew a ``sessions`` field (multi-session traffic
+#: plans), changing the hashed payload shape for every config.
+CACHE_VERSION = 2
 
 #: Environment variable naming the default run-result cache directory.
 #: Unset (the default) disables caching entirely.
@@ -117,6 +119,11 @@ class RunResult:
     receivers: Tuple[int, ...] = ()
     positions: Optional[np.ndarray] = None
 
+    #: multi-session runs: the per-session + aggregate traffic view
+    #: (:class:`repro.traffic.metrics.TrafficMetrics`); None on legacy
+    #: single-session runs
+    traffic: Optional[object] = None
+
 
 #: The record kinds a plain metrics run stores (definition lives next to
 #: the snapshot engine, which must agree with it exactly).
@@ -151,6 +158,7 @@ def _cache_load(path: Path) -> Optional[RunResult]:
 def _cache_store(path: Path, result: RunResult) -> None:
     payload = asdict(result)
     payload.pop("positions", None)
+    payload.pop("traffic", None)  # multi-session runs are never cached
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(".tmp")
     # default=float folds numpy scalars; write-then-rename keeps readers
@@ -215,12 +223,17 @@ def run_single(
         cache_dir = _default_cache_dir()
     else:
         cache_dir = Path(cache)
+    from repro.traffic.spec import active_sessions
+
     cacheable = (
         cache_dir is not None
         and not keep_positions
         and trace is None
         and check is None
         and obs is None
+        # multi-session results carry a structured TrafficMetrics payload
+        # the flat JSON cache cannot round-trip
+        and active_sessions(cfg) is None
     )
     if cacheable:
         cache_path = cache_dir / f"{config_hash(cfg)}.json"
@@ -357,21 +370,54 @@ def _run_suffix(
     no-op, making this identical to the historical ``net.start()`` pass.
     """
     from repro.metrics.collect import collect_metrics
+    from repro.traffic.spec import active_sessions
 
     agents = net.install(make_agent_factory(cfg))
     for agent in agents:
         agent.start()
     geographic = cfg.protocol == "gmr"
+    plan = active_sessions(cfg)
+    members = traffic = None
+    if plan is not None:
+        from repro.traffic.engine import session_members
+
+        members = session_members(net, plan)
 
     if check is not None:
-        check.bind_network(net, agents, cfg.source, cfg.group, receivers)
+        if plan is not None:
+            check.bind_network(
+                net, agents, cfg.source, cfg.group, receivers, sessions=members
+            )
+        else:
+            check.bind_network(net, agents, cfg.source, cfg.group, receivers)
     if obs is not None:
-        obs.bind_network(net, receivers)
+        if members is not None:
+            # sampler delivery_ratio tracks every session's receivers
+            obs.bind_network(net, sorted({m for ms in members.values() for m in ms}))
+        else:
+            obs.bind_network(net, receivers)
 
     source_agent = agents[cfg.source]
     t0 = sim.now
     settle = cfg.effective_construction_time
-    if cfg.protocol == "flooding":
+    if plan is not None:
+        from repro.traffic.engine import schedule_sessions
+
+        if obs is not None:
+            obs.spans.begin("route-discovery", sim, protocol=cfg.protocol)
+        horizon = schedule_sessions(cfg, sim, net, agents, plan, members, t0=t0)
+        first_data = t0 + min(s.start for s in plan) + settle
+        sim.run(until=first_data)
+        if obs is not None:
+            obs.spans.end(sim)
+        if check is not None:
+            check.checkpoint("route-discovery")
+        if obs is not None:
+            obs.spans.begin("data-delivery", sim, protocol=cfg.protocol)
+        sim.run(until=horizon)
+        if obs is not None:
+            obs.spans.end(sim)
+    elif cfg.protocol == "flooding":
         if obs is not None:
             obs.spans.begin("data-delivery", sim, protocol=cfg.protocol)
         source_agent.originate(cfg.group, 0)
@@ -410,7 +456,11 @@ def _run_suffix(
     if obs is not None:
         obs.finish()
 
-    if cfg.protocol == "flooding":
+    if plan is not None:
+        m, traffic = _traffic_run_metrics(
+            net, agents, cfg, plan, members, horizon - t0
+        )
+    elif cfg.protocol == "flooding":
         m = _flooding_metrics(net, cfg, receivers)
     elif geographic:
         m = _geo_metrics(net, cfg, receivers)
@@ -440,8 +490,75 @@ def _run_suffix(
         transmitters=tuple(sorted(m.transmitters)),
         receivers=tuple(receivers),
         positions=positions if keep_positions else None,
+        traffic=traffic,
     )
     return result
+
+
+def _traffic_run_metrics(net, agents, cfg: SimulationConfig, plan, members, horizon):
+    """Multi-session metrics: the aggregate MulticastMetrics view plus the
+    per-session :class:`~repro.traffic.metrics.TrafficMetrics` payload.
+
+    Aggregate fields fold every session together — ``delivered`` sums
+    per-session delivered receivers, ``delivery_ratio`` is the mean
+    per-session ratio (Jain-weighted fairness lives on the traffic
+    payload) and ``data_transmissions`` counts every data-plane frame of
+    every session.
+    """
+    from repro.metrics.collect import MulticastMetrics, average_relay_profit
+    from repro.traffic.metrics import _DATA_TYPES, collect_traffic_metrics
+
+    traffic = collect_traffic_metrics(net, agents, plan, members, horizon)
+    trace = net.sim.trace
+    transmitters: set = set()
+    for pt in _DATA_TYPES:
+        transmitters |= trace.nodes_with(TraceKind.TX, pt)
+    sources = {spec.source for spec in plan}
+    all_receivers = set()
+    for recv in members.values():
+        all_receivers |= set(recv)
+
+    stateful = any(getattr(a, "sessions", None) for a in agents)
+    if stateful:
+        covered = 0
+        for spec in plan:
+            for r in members[spec.flow]:
+                sess = getattr(agents[r], "sessions", None)
+                st = sess.get(spec.flow) if sess else None
+                if st is not None and st.covered:
+                    covered += 1
+    else:
+        covered = sum(s.delivered for s in traffic.sessions)
+
+    first_jq = next(trace.filter(TraceKind.TX, "JoinQuery"), None)
+    t_start = first_jq.time if first_jq is not None else None
+    t_covered = None
+    for rec in trace.filter(TraceKind.MARK, "Covered"):
+        if rec.node in all_receivers:
+            t_covered = rec.time
+    latency = (
+        (t_covered - t_start)
+        if (t_start is not None and t_covered is not None)
+        else 0.0
+    )
+    m = MulticastMetrics(
+        data_transmissions=traffic.aggregate_data_tx,
+        tree_transmissions=sum(1 + len(s.forwarders) for s in traffic.sessions),
+        extra_nodes=len(transmitters - sources - all_receivers),
+        average_relay_profit=average_relay_profit(net, transmitters, all_receivers),
+        delivered=sum(s.delivered for s in traffic.sessions),
+        delivery_ratio=traffic.aggregate_delivery_ratio,
+        covered_receivers=covered,
+        join_query_tx=trace.count(TraceKind.TX, "JoinQuery"),
+        join_reply_tx=trace.count(TraceKind.TX, "JoinReply"),
+        hello_tx=trace.count(TraceKind.TX, "HelloPacket"),
+        collisions=net.channel.frames_collided,
+        energy_joules=net.energy_summary()["total_joules"],
+        frames_lost=net.channel.frames_lost,
+        construction_latency=latency,
+        transmitters=transmitters,
+    )
+    return m, traffic
 
 
 def _flooding_metrics(net, cfg: SimulationConfig, receivers: Sequence[int]):

@@ -1,0 +1,204 @@
+"""Session-ramp experiment and multi-session CI campaign (``traffic`` CLI).
+
+Ramp mode (default) grows one deployment's concurrent session count from
+1 to ``--traffic-sessions`` and compares MTMRP against ODMRP on the
+quantities the multi-session regime is about:
+
+* **shared-forwarder ratio** — nodes forwarding for >= 2 sessions over
+  nodes forwarding for >= 1 (MTMRP's cross-session reuse);
+* **aggregate data transmissions** — the paper's minimum-transmission
+  claim, summed over every session;
+* **Jain fairness** over per-session delivery ratios;
+* **saturation knee** — the first session count whose mean aggregate
+  delivery ratio drops below
+  :data:`~repro.traffic.metrics.SATURATION_THRESHOLD` under the
+  contention MAC.
+
+Campaign mode (``--traffic-campaign``) is the CI soak: ``--runs``
+seed-varied 4-session runs under a :class:`~repro.check.CheckHarness`
+in ``collect`` mode, plus the flag-off digest guard (a trivially default
+single-session :class:`~repro.traffic.spec.TrafficPlan` must be
+byte-identical to ``sessions=None``).  Any violation or digest drift
+exits non-zero — see ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_single
+from repro.traffic.metrics import SATURATION_THRESHOLD
+from repro.traffic.spec import TrafficPlan, ramp_plan
+
+__all__ = ["session_ramp", "traffic_campaign", "flag_off_digest_guard", "run_traffic"]
+
+#: the two protocols the ramp compares (the paper's central pairing)
+RAMP_PROTOCOLS: Tuple[str, ...] = ("mtmrp", "odmrp")
+
+
+def _mean(values: Sequence[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def session_ramp(
+    max_sessions: int = 8,
+    runs: int = 5,
+    protocols: Sequence[str] = RAMP_PROTOCOLS,
+    mac: str = "csma",
+    base_seed: int = 0,
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """``{n_sessions: {protocol: averaged traffic measures}}`` for 1..max.
+
+    Each cell averages ``runs`` seed-varied rounds of the canonical
+    :func:`~repro.traffic.spec.ramp_plan` on the default grid.  The
+    contention MAC is the default because saturation is a contention
+    phenomenon; pass ``mac="ideal"`` for the lossless parity view.
+    """
+    out: Dict[int, Dict[str, Dict[str, float]]] = {}
+    base = SimulationConfig(mac=mac)
+    for n in range(1, max_sessions + 1):
+        plan = ramp_plan(base, n)
+        out[n] = {}
+        for proto in protocols:
+            ratios: List[float] = []
+            fairness: List[float] = []
+            shared: List[float] = []
+            data_tx: List[float] = []
+            goodput: List[float] = []
+            saturated = 0
+            for r in range(runs):
+                cfg = base.with_(
+                    protocol=proto, seed=base_seed + r, sessions=plan
+                )
+                res = run_single(cfg, cache=False)
+                tm = res.traffic
+                ratios.append(tm.aggregate_delivery_ratio)
+                fairness.append(tm.fairness)
+                shared.append(tm.shared_forwarder_ratio)
+                data_tx.append(tm.aggregate_data_tx)
+                goodput.append(sum(s.goodput for s in tm.sessions))
+                saturated += int(tm.saturated)
+            out[n][proto] = {
+                "delivery_ratio": _mean(ratios),
+                "fairness": _mean(fairness),
+                "shared_forwarder_ratio": _mean(shared),
+                "data_tx": _mean(data_tx),
+                "goodput_rps": _mean(goodput),
+                "saturated_frac": saturated / runs if runs else 0.0,
+            }
+    return out
+
+
+def saturation_knee(
+    ramp: Dict[int, Dict[str, Dict[str, float]]], protocol: str
+) -> int | None:
+    """First session count whose mean delivery dips below the threshold."""
+    for n in sorted(ramp):
+        cell = ramp[n].get(protocol)
+        if cell and cell["delivery_ratio"] < SATURATION_THRESHOLD:
+            return n
+    return None
+
+
+def flag_off_digest_guard(seed: int = 42) -> Tuple[str, str]:
+    """(digest without sessions, digest with the default single plan).
+
+    Byte-equality of the pair is the flag-off contract: configuring the
+    trivially default :meth:`TrafficPlan.single` must not perturb a
+    single event of the legacy run.
+    """
+    from repro.net.packet import reset_uids
+    from repro.sim.trace import TraceKind, TraceRecorder, trace_digest
+
+    digests = []
+    base = SimulationConfig(seed=seed)
+    for sessions in (None, TrafficPlan.single(base)):
+        reset_uids()  # digests embed packet uids, a process-global counter
+        trace = TraceRecorder(
+            enabled_kinds={
+                TraceKind.TX, TraceKind.DELIVER, TraceKind.MARK, TraceKind.NOTE
+            }
+        )
+        run_single(base.with_(sessions=sessions), trace=trace, cache=False)
+        digests.append(trace_digest(trace))
+    return digests[0], digests[1]
+
+
+def traffic_campaign(
+    runs: int = 25, n_sessions: int = 4, base_seed: int = 0
+) -> Tuple[int, int]:
+    """(violations, delivered receiver-sessions) over a checked soak.
+
+    Every run carries ``n_sessions`` concurrent MTMRP flows under a
+    harness in ``collect`` mode enforcing the session-scoped invariants
+    (deliver-membership, path-profit-sum, feasible forwarding sets).
+    """
+    from repro.check import CheckHarness
+
+    base = SimulationConfig()
+    plan = ramp_plan(base, n_sessions)
+    violations = 0
+    delivered = 0
+    for r in range(runs):
+        cfg = base.with_(seed=base_seed + r, sessions=plan)
+        harness = CheckHarness(mode="collect")
+        res = run_single(cfg, check=harness, cache=False)
+        violations += len(harness.report.violations)
+        delivered += sum(s.delivered for s in res.traffic.sessions)
+    return violations, delivered
+
+
+def run_traffic(args) -> None:
+    """CLI entry point (see ``python -m repro.experiments traffic``)."""
+    if args.traffic_campaign:
+        runs = args.runs
+        print(f"\n== Multi-session CI campaign ({runs} checked 4-session runs) ==")
+        d0, d1 = flag_off_digest_guard()
+        if d0 != d1:
+            print(
+                f"FLAG-OFF DIGEST DRIFT: sessions=None {d0[:16]} != "
+                f"default plan {d1[:16]}",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(f"  flag-off digest guard: ok ({d0[:16]}...)")
+        violations, delivered = traffic_campaign(runs=runs)
+        print(f"  delivered receiver-sessions: {delivered}")
+        if violations:
+            print(f"  INVARIANT VIOLATIONS: {violations}", file=sys.stderr)
+            raise SystemExit(1)
+        print("  invariant violations: 0")
+        return
+
+    max_sessions = args.traffic_sessions
+    runs = max(args.runs // 5, 3)
+    print(
+        f"\n== Session ramp 1..{max_sessions} "
+        f"(grid, csma, {runs} runs/point, MTMRP vs ODMRP) =="
+    )
+    ramp = session_ramp(max_sessions=max_sessions, runs=runs)
+    hdr = (
+        f"{'n':>3}"
+        + "".join(
+            f" {p + '.deliv':>11} {p + '.fair':>10} {p + '.shared':>11} "
+            f"{p + '.tx':>8}"
+            for p in RAMP_PROTOCOLS
+        )
+    )
+    print(hdr)
+    for n in sorted(ramp):
+        row = f"{n:>3}"
+        for p in RAMP_PROTOCOLS:
+            c = ramp[n][p]
+            row += (
+                f" {c['delivery_ratio']:>11.3f} {c['fairness']:>10.3f}"
+                f" {c['shared_forwarder_ratio']:>11.3f} {c['data_tx']:>8.1f}"
+            )
+        print(row)
+    for p in RAMP_PROTOCOLS:
+        knee = saturation_knee(ramp, p)
+        shown = f"{knee} sessions" if knee is not None else "not reached"
+        print(f"saturation knee ({p}, delivery < {SATURATION_THRESHOLD}): {shown}")

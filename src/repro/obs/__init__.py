@@ -13,7 +13,7 @@ from repro.obs.export import (
     write_text,
 )
 from repro.obs.observer import Observer
-from repro.obs.registry import CounterRegistry, counters_from_trace
+from repro.obs.registry import CounterRegistry, counters_from_trace, session_counters
 from repro.obs.sampler import Sample, StreamingSampler
 from repro.obs.spans import Span, SpanRecorder
 
@@ -21,6 +21,7 @@ __all__ = [
     "Observer",
     "CounterRegistry",
     "counters_from_trace",
+    "session_counters",
     "Span",
     "SpanRecorder",
     "Sample",

@@ -42,7 +42,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.sim.trace import TraceKind, TraceRecorder
 
-__all__ = ["CounterRegistry", "counters_from_trace"]
+__all__ = ["CounterRegistry", "counters_from_trace", "session_counters"]
 
 #: ``(name, kind, packet_type)`` — packet_type None sums every type.
 _TRACE_COUNTERS: Tuple[Tuple[str, TraceKind, Optional[str]], ...] = (
@@ -83,6 +83,26 @@ def counters_from_trace(trace: TraceRecorder) -> Dict[str, int]:
     out: Dict[str, int] = {}
     for name, kind, ptype in _TRACE_COUNTERS:
         out[name] = by_kind.get(kind, 0) if ptype is None else counts[(kind, ptype)]
+    return out
+
+
+def session_counters(trace: TraceRecorder) -> Dict[str, int]:
+    """Per-session delivery totals, keyed ``session_delivers.<src>.<grp>``.
+
+    DELIVER record details carry the flow key ``(source, group, seq)``,
+    so one pass over the stored records attributes every application
+    delivery to its multicast session.  Needs stored records (empty in
+    ``counters_only`` mode — per-session attribution has no running
+    total to lean on); single-session runs simply yield one key.
+    """
+    out: Dict[str, int] = {}
+    if trace.counters_only:
+        return out
+    for rec in trace.filter(TraceKind.DELIVER):
+        d = rec.detail
+        if isinstance(d, tuple) and len(d) == 3:
+            name = f"session_delivers.{d[0]}.{d[1]}"
+            out[name] = out.get(name, 0) + 1
     return out
 
 
@@ -127,6 +147,7 @@ class CounterRegistry:
         """Re-derive every counter/gauge from the bound run state."""
         if self._trace is not None:
             self.counters.update(counters_from_trace(self._trace))
+            self.counters.update(session_counters(self._trace))
         if self._sim is not None:
             self.set_gauge("pending_events", self._sim.heap_depth)
             if self._trace is not None and not self._trace.counters_only:

@@ -130,8 +130,17 @@ class OnDemandMulticastAgent(Agent):
         self.data_seen: Set[tuple] = set()
         #: flow keys delivered to the application (receivers)
         self.delivered: Set[tuple] = set()
-        #: at the source: receivers whose JoinReply reached us
+        #: at the source: receivers whose JoinReply reached us (flat
+        #: historical view; multi-session sources serve several groups,
+        #: see ``connected_by_group`` for the per-flow breakdown)
         self.connected_receivers: Set[int] = set()
+        #: at the source: connected receivers per group id
+        self.connected_by_group: Dict[int, Set[int]] = {}
+        #: data-plane transmissions this node made, per (source, group).
+        #: TX trace records carry only packet uids, so per-session
+        #: transmitter attribution (traffic metrics, per-session
+        #: feasible-forwarding checks) reads this instead of the trace.
+        self.data_tx_by_session: Dict[GroupKey, int] = {}
         #: at the source: next JoinQuery sequence number per group
         self._next_seq: Dict[int, int] = {}
         #: route errors already forwarded (duplicate filter; pruned when a
@@ -253,12 +262,18 @@ class OnDemandMulticastAgent(Agent):
                 )
                 self.data_seen.add(pkt.flow_key)
                 self.stats["degraded_data"] += 1
+                self._count_data_tx(me, group)
                 self.send(pkt)
                 return pkt
         pkt = DataPacket(src=me, source=me, group=group, seq=seq)
         self.data_seen.add(pkt.flow_key)
+        self._count_data_tx(me, group)
         self.send(pkt)
         return pkt
+
+    def _count_data_tx(self, source: int, group: int) -> None:
+        key = (source, group)
+        self.data_tx_by_session[key] = self.data_tx_by_session.get(key, 0) + 1
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -363,6 +378,7 @@ class OnDemandMulticastAgent(Agent):
     def _source_accept_reply(self, jr: JoinReply, st: SessionState) -> None:
         """Source: a receiver's JoinReply made it all the way back to us."""
         self.connected_receivers.add(jr.receiver)
+        self.connected_by_group.setdefault(st.group, set()).add(jr.receiver)
         if self.repair_policy is not None:
             self._rebuild_succeeded((st.source, st.group))
 
@@ -430,6 +446,7 @@ class OnDemandMulticastAgent(Agent):
         if (st is not None and st.is_forwarder) or soft:
             fwd = pkt.clone_for_forwarding(self.node_id)
             self.stats["data_forwarded"] += 1
+            self._count_data_tx(pkt.source, pkt.group)
             sim.schedule_fire(float(self._rng().uniform(0.0, self.data_jitter)), self.send, fwd)
 
     # ------------------------------------------------------------------ #
@@ -894,6 +911,7 @@ class OnDemandMulticastAgent(Agent):
             return
         fwd = pkt.hop(self.node_id)
         self.stats["degraded_forwards"] += 1
+        self._count_data_tx(pkt.source, pkt.group)
         sim.trace.emit(
             sim.now,
             TraceKind.NOTE,

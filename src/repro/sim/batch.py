@@ -131,6 +131,11 @@ def batch_eligible(cfg: "SimulationConfig") -> Optional[str]:
     perturbs either the rng draw counts or the boundary state in ways the
     closed form does not model.
     """
+    if getattr(cfg, "sessions", None) is not None:
+        # the closed form models one JoinQuery round + one data packet;
+        # concurrent session schedules need the real event loop (even a
+        # trivially-default plan falls back — scalar is identical anyway)
+        return "multi-session"
     if not cfg.hello_phase:
         # the static bootstrap prefix is already nearly free — nothing to
         # amortise, and the scalar path is bit-identical by definition

@@ -108,16 +108,37 @@ def _trace_signature(trace: Optional[TraceRecorder], cfg: "SimulationConfig") ->
     return (frozenset(enabled) if enabled is not None else None, trace.counters_only)
 
 
+def _sessions_signature(cfg: "SimulationConfig") -> Optional[tuple]:
+    """The session set the prefix installs memberships for (None = legacy).
+
+    A trivially default single-session plan signs identically to
+    ``sessions=None`` — both build the exact legacy prefix, so they may
+    share snapshots (and they must, for the flag-off digest guarantee).
+    """
+    from repro.traffic.spec import TrafficPlan, active_sessions
+
+    plan = active_sessions(cfg)
+    if plan is None:
+        return None
+    return TrafficPlan(sessions=plan).key()
+
+
 def prefix_key(cfg: "SimulationConfig", trace: Optional[TraceRecorder] = None) -> tuple:
     """Hashable identity of the prefix a run under ``cfg`` would build.
 
     Two configs with equal keys build bit-identical prefix state, so a
     single :class:`WarmSnapshot` serves both.  The key folds in the trace
     recorder shape (enabled kinds, counters-only) because the captured
-    recorder rides inside the snapshot.
+    recorder rides inside the snapshot, and the active session set
+    because multi-session prefixes install extra group memberships and
+    consume per-session receiver streams.
     """
     fields = tuple(getattr(cfg, f) for f in _PREFIX_FIELDS)
-    return fields + (cfg.protocol == "gmr", _trace_signature(trace, cfg))
+    return fields + (
+        cfg.protocol == "gmr",
+        _trace_signature(trace, cfg),
+        _sessions_signature(cfg),
+    )
 
 
 def warm_profitable(cfg: "SimulationConfig") -> bool:
@@ -209,7 +230,29 @@ def build_prefix(
     candidates = candidates[candidates != cfg.source]
     receivers = recv_rng.choice(candidates, size=cfg.group_size, replace=False)
     receivers = [int(r) for r in receivers]
-    net.set_group_members(cfg.group, receivers)
+
+    from repro.traffic.spec import active_sessions
+
+    plan = active_sessions(cfg)
+    if plan is None:
+        net.set_group_members(cfg.group, receivers)
+    else:
+        # extra sessions draw from identity-keyed streams, leaving the
+        # legacy "receivers" stream (consumed above) untouched.  The
+        # legacy draw's *membership* is only installed when a session
+        # actually reuses it — otherwise a plan session on cfg.group
+        # would see the union of both draws
+        from repro.traffic.engine import install_session_members
+
+        if any(
+            s.receivers is None
+            and s.source == cfg.source
+            and s.group == cfg.group
+            and s.group_size == cfg.group_size
+            for s in plan
+        ):
+            net.set_group_members(cfg.group, receivers)
+        install_session_members(cfg, sim, net, plan, legacy_receivers=receivers)
 
     geographic = cfg.protocol == "gmr"
     if obs is not None:

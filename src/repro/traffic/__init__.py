@@ -1,0 +1,43 @@
+"""Concurrent multi-session traffic: specs, engine and metrics.
+
+See ``docs/TRAFFIC.md`` for the session model, the fairness metrics and
+the saturation methodology, and ``python -m repro.experiments traffic``
+for the session-ramp experiment CLI.
+"""
+
+from repro.traffic.engine import (
+    install_session_members,
+    schedule_sessions,
+    session_members,
+    sessions_horizon,
+)
+from repro.traffic.metrics import (
+    SATURATION_THRESHOLD,
+    SessionMetrics,
+    TrafficMetrics,
+    collect_traffic_metrics,
+    jain_fairness,
+    session_deliveries,
+    session_forwarders,
+    session_transmitters,
+)
+from repro.traffic.spec import SessionSpec, TrafficPlan, active_sessions, ramp_plan
+
+__all__ = [
+    "SessionSpec",
+    "TrafficPlan",
+    "active_sessions",
+    "ramp_plan",
+    "install_session_members",
+    "schedule_sessions",
+    "sessions_horizon",
+    "session_members",
+    "SessionMetrics",
+    "TrafficMetrics",
+    "collect_traffic_metrics",
+    "jain_fairness",
+    "session_deliveries",
+    "session_forwarders",
+    "session_transmitters",
+    "SATURATION_THRESHOLD",
+]

@@ -74,6 +74,73 @@ def test_run_scenario_is_deterministic():
     assert a.delivered_receivers == b.delivered_receivers
 
 
+class TestSessionAxis:
+    """The multi-session dimension of the scenario space."""
+
+    def test_generators_draw_multi_session_scenarios(self):
+        rng = np.random.default_rng(7)
+        multi = [
+            sc for sc in (random_scenario(rng) for _ in range(60))
+            if sc.config.sessions is not None
+        ]
+        assert multi, "the session axis never fires at p=0.3 over 60 draws"
+        for sc in multi:
+            specs = sc.config.sessions
+            assert 2 <= len(specs) <= BOUNDS["max_sessions"]
+            # first session is always the config's own flow
+            assert specs[0].flow == (sc.config.source, sc.config.group)
+            assert specs[0].group_size == sc.config.group_size
+            for spec in specs:
+                assert 0 <= spec.source < sc.config.n_nodes
+                assert (
+                    BOUNDS["session_packets"][0]
+                    <= spec.n_packets
+                    <= BOUNDS["session_packets"][1]
+                )
+
+    def test_multi_session_scenario_roundtrips(self):
+        rng = np.random.default_rng(7)
+        sc = next(
+            s for s in (random_scenario(rng) for _ in range(60))
+            if s.config.sessions is not None
+        )
+        wire = json.loads(json.dumps(sc.to_dict()))
+        again = Scenario.from_dict(wire)
+        assert again == sc
+        assert again.config.sessions == sc.config.sessions
+
+    def test_multi_session_scenarios_hold_invariants(self):
+        """Three derandomized multi-session runs under the harness."""
+        rng = np.random.default_rng(7)
+        multi = [
+            sc for sc in (random_scenario(rng) for _ in range(60))
+            if sc.config.sessions is not None
+        ][:3]
+        assert len(multi) == 3
+        for sc in multi:
+            report = run_scenario(sc, mode="collect")
+            assert report.ok, (
+                f"violations in {sc.describe()}:\n"
+                + "\n".join(str(v).splitlines()[0] for v in report.violations)
+            )
+            assert report.checkpoints[0] == "route-discovery"
+            assert report.checkpoints[-1] == "end-of-run"
+            assert report.n_receivers == sum(
+                spec.n_receivers() for spec in sc.config.sessions
+            )
+
+    def test_multi_session_replay_is_deterministic(self):
+        rng = np.random.default_rng(11)
+        sc = next(
+            s for s in (random_scenario(rng) for _ in range(60))
+            if s.config.sessions is not None
+        )
+        a = run_scenario(sc, mode="collect")
+        b = run_scenario(sc, mode="collect")
+        assert a.trace_sha256 == b.trace_sha256
+        assert a.delivered_receivers == b.delivered_receivers
+
+
 class TestCorpusIO:
     def _scenario(self):
         return Scenario(

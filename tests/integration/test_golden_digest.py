@@ -60,3 +60,60 @@ def test_digest_is_reproducible_within_process():
     """Two back-to-back runs hash identically (no hidden global state)."""
     key = ("mtmrp", "grid", 42)
     assert _digest(*key) == _digest(*key) == GOLDEN[key]
+
+
+# --------------------------------------------------------------------- #
+# flag-off guards: the default single-session TrafficPlan is free
+# --------------------------------------------------------------------- #
+def _digest_with_sessions(protocol: str, topology: str, seed: int) -> str:
+    """Same run as :func:`_digest` but with the trivially-default plan
+    configured explicitly — must be byte-identical (``active_sessions``
+    routes it through the exact legacy code path)."""
+    from repro.traffic.spec import TrafficPlan
+
+    reset_uids()
+    tr = TraceRecorder()
+    cfg = SimulationConfig(protocol, topology, group_size=12, seed=seed)
+    run_single(cfg.with_(sessions=TrafficPlan.single(cfg)), trace=tr, cache=False)
+    return trace_digest(tr)
+
+
+@pytest.mark.parametrize("protocol,topology,seed", sorted(GOLDEN))
+def test_default_traffic_plan_is_byte_identical(protocol, topology, seed):
+    assert (
+        _digest_with_sessions(protocol, topology, seed)
+        == GOLDEN[(protocol, topology, seed)]
+    )
+
+
+def _corpus_scenarios():
+    from pathlib import Path
+
+    from repro.check.fuzz import load_corpus_entry
+
+    corpus = Path(__file__).resolve().parents[1] / "corpus"
+    out = []
+    for path in sorted(corpus.glob("*.json")):
+        scenario, _ = load_corpus_entry(path)
+        if scenario.config.sessions is None:  # multi-session entries pin
+            out.append((path.name, scenario))  # their own digests already
+    return out
+
+
+@pytest.mark.parametrize(
+    "name,scenario", _corpus_scenarios(), ids=lambda x: x if isinstance(x, str) else ""
+)
+def test_corpus_scenarios_unchanged_by_default_plan(name, scenario):
+    """Every legacy corpus scenario replays byte-identically when the
+    trivially-default TrafficPlan is configured — the flag-off contract
+    over the whole stressor space (faults, mobility, energy, repair)."""
+    from dataclasses import replace
+
+    from repro.check.fuzz import run_scenario
+    from repro.traffic.spec import TrafficPlan
+
+    base = run_scenario(scenario, mode="collect")
+    cfg = scenario.config
+    flagged = replace(cfg, sessions=TrafficPlan.single(cfg))
+    again = run_scenario(replace(scenario, config=flagged), mode="collect")
+    assert again.trace_sha256 == base.trace_sha256, name

@@ -45,7 +45,17 @@ DELIVERY_FLOORS = {
 
 
 def _corpus_paths():
-    paths = sorted(CORPUS_DIR.glob("*.json"))
+    """Single-session corpus entries (the matrix's per-run assertions —
+    ``delivered == group_size`` etc. — are about one flow; multi-session
+    entries get their own parity matrix in
+    ``tests/protocols/test_multisession_differential.py``)."""
+    from repro.traffic.spec import active_sessions
+
+    paths = [
+        p
+        for p in sorted(CORPUS_DIR.glob("*.json"))
+        if active_sessions(load_corpus_entry(p)[0].config) is None
+    ]
     assert len(paths) >= 6, f"expected the 6-entry corpus, found {len(paths)}"
     return paths
 

@@ -119,3 +119,69 @@ def test_counters_json_carries_metadata():
     assert payload["seed"] == 5 and payload["protocol"] == "odmrp"
     assert payload["counters"]["tx"] == 9
     assert "gauges" in payload
+
+
+# --------------------------------------------------------------------- #
+# per-session delivery attribution
+# --------------------------------------------------------------------- #
+def _emit_session_fixture(trace):
+    # DELIVER details carry the flow key (source, group, seq)
+    trace.emit(0.1, TraceKind.DELIVER, 3, "DataPacket", (0, 1, 0))
+    trace.emit(0.2, TraceKind.DELIVER, 4, "DataPacket", (0, 1, 1))
+    trace.emit(0.3, TraceKind.DELIVER, 5, "DataPacket", (7, 2, 0))
+    trace.emit(0.4, TraceKind.DELIVER, 5, "DataPacket", None)  # no flow info
+    trace.emit(0.5, TraceKind.TX, 0, "DataPacket", (0, 1, 0))  # not a DELIVER
+
+
+def test_session_counters_attribute_delivers_per_flow():
+    from repro.obs import session_counters
+
+    trace = TraceRecorder()
+    _emit_session_fixture(trace)
+    assert session_counters(trace) == {
+        "session_delivers.0.1": 2,
+        "session_delivers.7.2": 1,
+    }
+
+
+def test_session_counters_empty_without_stored_records():
+    from repro.obs import session_counters
+
+    trace = TraceRecorder(counters_only=True)
+    _emit_session_fixture(trace)
+    assert session_counters(trace) == {}
+
+
+def test_refresh_merges_session_counters():
+    reg = CounterRegistry()
+    trace = TraceRecorder()
+    _emit_session_fixture(trace)
+    reg._trace = trace
+    reg.refresh()
+    assert reg.counters["session_delivers.0.1"] == 2
+    assert reg.counters["session_delivers.7.2"] == 1
+    # the flat aggregate still counts every delivery, attributed or not
+    assert reg.counters["delivers"] == 4
+
+
+def test_session_counters_from_live_multisession_run():
+    from repro.obs import session_counters
+    from repro.traffic.spec import SessionSpec
+
+    reset_uids()
+    cfg = SimulationConfig(
+        protocol="mtmrp", topology="grid", grid_nx=5, grid_ny=5,
+        side=100.0, seed=13, mac="ideal",
+        sessions=(
+            SessionSpec(source=0, group=1, group_size=4, n_packets=2),
+            SessionSpec(source=24, group=2, group_size=4, start=0.4, n_packets=2),
+        ),
+    )
+    trace = TraceRecorder()
+    result = run_single(cfg, trace=trace, cache=False)
+    c = session_counters(trace)
+    assert set(c) == {"session_delivers.0.1", "session_delivers.24.2"}
+    # every reached receiver delivers each of its session's packets
+    per_flow = {s.flow: s.delivered for s in result.traffic.sessions}
+    assert c["session_delivers.0.1"] == 2 * per_flow[(0, 1)]
+    assert c["session_delivers.24.2"] == 2 * per_flow[(24, 2)]

@@ -113,3 +113,27 @@ def test_heap_depth_gauge_is_readable_mid_run():
     sim.run(until=1.0)
     # 5 far-future events + the sampler's own next tick remain
     assert all(s.pending >= 5 for s in sampler.samples)
+
+
+def test_sampler_tracks_union_of_session_receivers():
+    """Multi-session runs bind every session's receivers, so the final
+    window's delivery_ratio covers the whole plan (1.0 on ideal MAC)."""
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.runner import run_single
+    from repro.obs import Observer
+    from repro.traffic.spec import SessionSpec
+
+    cfg = SimulationConfig(
+        protocol="mtmrp", topology="grid", grid_nx=5, grid_ny=5,
+        side=100.0, seed=31, mac="ideal",
+        sessions=(
+            SessionSpec(source=0, group=1, group_size=4, n_packets=2),
+            SessionSpec(source=24, group=2, group_size=4, start=0.4, n_packets=2),
+        ),
+    )
+    obs = Observer()
+    result = run_single(cfg, cache=False, obs=obs)
+    assert result.traffic.aggregate_delivery_ratio == 1.0
+    final = obs.sampler.samples[-1]
+    assert final.delivery_ratio == 1.0
+    assert sum(s.delivers_w for s in obs.sampler.samples) == 16

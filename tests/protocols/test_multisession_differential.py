@@ -1,0 +1,173 @@
+"""Session-aware differential test matrix.
+
+Two matrices lock the multi-session engine down:
+
+* **Differential**: on a lossless ideal-MAC grid, N concurrent sessions
+  must produce exactly the per-session delivery sets of N isolated runs.
+  Receiver draws are keyed by session identity (not plan position), so
+  the only thing concurrency may change is *timing* — never who gets
+  data.  Any cross-session state leak in the protocol layer (shared
+  dedup keys, clobbered forwarder state, RouteError bleed) breaks set
+  equality here.
+
+* **Parity**: five protocols × three traffic mixes (2/4/6 concurrent
+  sessions) on the same lossless substrate.  MTMRP's aggregate data
+  transmissions — seed-averaged at every session count — must not exceed
+  ODMRP's (the paper's minimum-transmission claim extended to the
+  multi-session regime), and every protocol holds its delivery floor.
+"""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_single
+from repro.sim.trace import TraceRecorder
+from repro.traffic.metrics import session_deliveries
+from repro.traffic.spec import SessionSpec, ramp_plan
+
+BASE = SimulationConfig(mac="ideal")
+
+#: three overlapping sessions: distinct sources, staggered starts,
+#: receiver overlap comes from independent 6-node draws on 100 nodes
+DIFF_SPECS = (
+    SessionSpec(source=0, group=2, group_size=6, start=0.0, n_packets=2),
+    SessionSpec(source=55, group=3, group_size=6, start=0.3, n_packets=2),
+    SessionSpec(source=99, group=4, group_size=6, start=0.6, n_packets=2),
+)
+
+DIFF_PROTOCOLS = ("mtmrp", "odmrp", "dodmrp")
+
+
+def _delivery_sets(cfg, specs):
+    """{flow: frozenset(receivers that delivered)} from one traced run."""
+    tr = TraceRecorder()
+    run_single(cfg, trace=tr, cache=False)
+    return {s.flow: frozenset(session_deliveries(tr, s.flow)[0]) for s in specs}
+
+
+@pytest.mark.parametrize("protocol", DIFF_PROTOCOLS)
+def test_concurrent_equals_isolated_delivery_sets(protocol):
+    cfg = BASE.with_(protocol=protocol, seed=11)
+    concurrent = _delivery_sets(cfg.with_(sessions=DIFF_SPECS), DIFF_SPECS)
+    for spec in DIFF_SPECS:
+        isolated = _delivery_sets(cfg.with_(sessions=(spec,)), (spec,))
+        assert concurrent[spec.flow] == isolated[spec.flow], (
+            f"{protocol} session {spec.flow}: concurrent delivery set "
+            f"{sorted(concurrent[spec.flow])} != isolated "
+            f"{sorted(isolated[spec.flow])}"
+        )
+        # the matrix is vacuous if nothing is delivered
+        assert len(concurrent[spec.flow]) == spec.group_size
+
+
+def test_receiver_draws_identical_across_compositions():
+    """The foundation: a session's receiver set is plan-independent."""
+    from repro.net.network import Network
+    from repro.experiments.config import make_positions
+    from repro.mac.ideal import IdealMac
+    from repro.sim.kernel import Simulator
+    from repro.traffic.engine import install_session_members
+
+    def draw(plan):
+        sim = Simulator(seed=11)
+        net = Network(
+            sim,
+            make_positions(BASE, sim.rng.stream("topology")),
+            comm_range=BASE.comm_range,
+            mac_factory=IdealMac,
+            perfect_channel=True,
+        )
+        return install_session_members(BASE, sim, net, plan)
+
+    full = draw(DIFF_SPECS)
+    for spec in DIFF_SPECS:
+        assert draw((spec,))[spec.flow] == full[spec.flow]
+
+
+# --------------------------------------------------------------------- #
+# parity matrix: 5 protocols x 3 traffic mixes
+# --------------------------------------------------------------------- #
+PARITY_PROTOCOLS = ("mtmrp", "odmrp", "dodmrp", "maodv", "gmr")
+SESSION_COUNTS = (2, 4, 6)
+PARITY_SEEDS = (0, 1, 2)
+
+#: lossless ideal-MAC floors on the aggregate delivery ratio — every
+#: cell is a pure function of its seed, so these are regression pins
+DELIVERY_FLOORS = {
+    "mtmrp": 1.0,
+    "odmrp": 1.0,
+    "dodmrp": 1.0,
+    "maodv": 0.8,
+    "gmr": 0.6,
+}
+
+
+@pytest.fixture(scope="module")
+def parity():
+    """{n_sessions: {protocol: [TrafficMetrics per seed]}}."""
+    out = {}
+    for n in SESSION_COUNTS:
+        plan = ramp_plan(BASE, n)
+        out[n] = {
+            proto: [
+                run_single(
+                    BASE.with_(protocol=proto, seed=seed, sessions=plan),
+                    cache=False,
+                ).traffic
+                for seed in PARITY_SEEDS
+            ]
+            for proto in PARITY_PROTOCOLS
+        }
+    return out
+
+
+def test_every_parity_cell_ran(parity):
+    for n, row in parity.items():
+        for proto, metrics in row.items():
+            assert len(metrics) == len(PARITY_SEEDS), (n, proto)
+            for tm in metrics:
+                assert len(tm.sessions) == n, (n, proto)
+                assert tm.aggregate_data_tx > 0, (n, proto)
+
+
+def test_mtmrp_aggregate_data_tx_never_exceeds_odmrp(parity):
+    """Seed-averaged at every session count (individual seeds can cross:
+    different trees on different deployments)."""
+    for n, row in parity.items():
+        mt = sum(tm.aggregate_data_tx for tm in row["mtmrp"]) / len(PARITY_SEEDS)
+        od = sum(tm.aggregate_data_tx for tm in row["odmrp"]) / len(PARITY_SEEDS)
+        assert mt <= od, (
+            f"{n} sessions: mtmrp mean data tx {mt:.1f} > odmrp {od:.1f}"
+        )
+
+
+@pytest.mark.parametrize("proto", PARITY_PROTOCOLS)
+def test_parity_delivery_floor(parity, proto):
+    floor = DELIVERY_FLOORS[proto]
+    for n, row in parity.items():
+        for tm in row[proto]:
+            assert tm.aggregate_delivery_ratio >= floor, (
+                f"{n} sessions: {proto} delivered "
+                f"{tm.aggregate_delivery_ratio:.2f} < floor {floor}"
+            )
+
+
+def test_sharing_grows_with_session_count(parity):
+    """More concurrent trees -> more cross-session forwarder reuse for
+    the mesh protocols (seed-averaged, lowest vs highest rung)."""
+    for proto in ("mtmrp", "odmrp"):
+        lo = sum(
+            tm.shared_forwarder_ratio for tm in parity[SESSION_COUNTS[0]][proto]
+        ) / len(PARITY_SEEDS)
+        hi = sum(
+            tm.shared_forwarder_ratio for tm in parity[SESSION_COUNTS[-1]][proto]
+        ) / len(PARITY_SEEDS)
+        assert hi > lo, f"{proto}: sharing ratio fell from {lo:.2f} to {hi:.2f}"
+
+
+def test_lossless_runs_are_fair(parity):
+    """Jain's index stays at 1.0 when every session is fully served."""
+    for n, row in parity.items():
+        for proto in ("mtmrp", "odmrp", "dodmrp"):
+            for tm in row[proto]:
+                assert tm.fairness == pytest.approx(1.0), (n, proto)

@@ -1,0 +1,143 @@
+"""Regression tests: per-flow scoping of protocol-agent state.
+
+The protocol layer always kept one ``SessionState`` per ``(source,
+group)``, but several side tables grew up under a single-session
+assumption.  These tests pin the flow-scoped behaviour the multi-session
+engine depends on: data dedup keyed by the full flow key, RouteError
+dedup pruning isolated per flow, ``last_data_from`` superseded per key,
+and the per-session transmit/connectivity accounting the traffic metrics
+read.
+"""
+
+import pytest
+
+from repro.core.messages import JoinReply, RouteError
+from repro.net.packet import DataPacket
+from repro.protocols.base import SessionState
+from repro.protocols.odmrp import OdmrpAgent
+from repro.sim.kernel import Simulator
+from tests.conftest import make_grid_network
+
+
+@pytest.fixture
+def net3():
+    """A tiny line network with an ODMRP agent on every node."""
+    sim = Simulator(seed=7)
+    net = make_grid_network(sim, nx=3, ny=1, side=60.0)
+    net.bootstrap_neighbor_tables()
+    agents = net.install(lambda node: OdmrpAgent())
+    net.start()
+    return sim, net, agents
+
+
+def test_data_dedup_is_flow_scoped(net3):
+    """seq 0 of flow A must not shadow seq 0 of flow B."""
+    sim, net, agents = net3
+    mid = agents[1]
+    net.set_group_members(1, [2])
+    net.set_group_members(2, [2])
+    mid._recv_data(DataPacket(src=0, source=0, group=1, seq=0))
+    mid._recv_data(DataPacket(src=2, source=2, group=2, seq=0))
+    assert (0, 1, 0) in mid.data_seen and (2, 2, 0) in mid.data_seen
+    # the duplicate of flow A is still dropped
+    before = len(mid.data_seen)
+    mid._recv_data(DataPacket(src=0, source=0, group=1, seq=0))
+    assert len(mid.data_seen) == before
+
+
+def test_last_data_from_superseded_per_flow(net3):
+    sim, net, agents = net3
+    mid = agents[1]
+    mid._recv_data(DataPacket(src=0, source=0, group=1, seq=0))
+    mid._recv_data(DataPacket(src=2, source=2, group=2, seq=0))
+    assert mid.last_data_from[(0, 1)] == 0
+    assert mid.last_data_from[(2, 2)] == 2
+    # a newer packet of flow A supersedes only flow A's serving hop
+    mid._recv_data(DataPacket(src=2, source=0, group=1, seq=1))
+    assert mid.last_data_from[(0, 1)] == 2
+    assert mid.last_data_from[(2, 2)] == 2
+
+
+def test_route_error_dedup_pruning_is_flow_isolated(net3):
+    """Pruning flow A's stale RouteError keys must keep flow B's."""
+    sim, net, agents = net3
+    a = agents[1]
+    a._route_errors_seen.add((2, 0, 1, 0))  # flow (0, 1), round 0
+    a._route_errors_seen.add((2, 5, 2, 0))  # flow (5, 2), round 0
+    # flow (0, 1) rebuilds at round 5: its old keys (< seq-1) go,
+    # flow (5, 2)'s survive untouched
+    a._prune_route_errors(0, 1, 5)
+    assert (2, 0, 1, 0) not in a._route_errors_seen
+    assert (2, 5, 2, 0) in a._route_errors_seen
+
+
+def test_route_error_dedup_key_includes_flow(net3):
+    """The same receiver+seq on two flows are distinct dedup entries."""
+    sim, net, agents = net3
+    a = agents[1]
+    e1 = RouteError(src=2, receiver=2, source=0, group=1, seq=0, failed_node=9)
+    e2 = RouteError(src=2, receiver=2, source=5, group=2, seq=0, failed_node=9)
+    a._recv_route_error(e1)
+    a._recv_route_error(e2)
+    assert (2, 0, 1, 0) in a._route_errors_seen
+    assert (2, 5, 2, 0) in a._route_errors_seen
+
+
+def test_data_tx_counted_per_session(net3):
+    sim, net, agents = net3
+    src0, src2 = agents[0], agents[2]
+    net.set_group_members(1, [2])
+    net.set_group_members(2, [0])
+    src0.send_data(1, 0)
+    src0.send_data(1, 1)
+    src2.send_data(2, 0)
+    assert src0.data_tx_by_session[(0, 1)] == 2
+    assert src2.data_tx_by_session[(2, 2)] == 1
+    assert (2, 2) not in src0.data_tx_by_session
+
+
+def test_forwarder_tx_attributed_to_its_flow(net3):
+    """A relay forwarding two flows counts each under its own key."""
+    sim, net, agents = net3
+    mid = agents[1]
+    for source, group in ((0, 1), (2, 2)):
+        st = mid.sessions.setdefault(
+            (source, group),
+            SessionState(
+                source=source, group=group, seq=0, upstream=source, hop_count=1
+            ),
+        )
+        st.is_forwarder = True
+    mid._recv_data(DataPacket(src=0, source=0, group=1, seq=0))
+    mid._recv_data(DataPacket(src=2, source=2, group=2, seq=0))
+    sim.run(until=sim.now + 0.5)
+    assert mid.data_tx_by_session.get((0, 1), 0) == 1
+    assert mid.data_tx_by_session.get((2, 2), 0) == 1
+
+
+def test_connected_receivers_tracked_per_group(net3):
+    """JoinReplies land in ``connected_by_group`` under their own group."""
+    sim, net, agents = net3
+    src = agents[0]
+    for group, receiver in ((1, 2), (2, 1)):
+        src.request_route(group)
+        sim.run(until=sim.now + 0.1)
+        jr = JoinReply(
+            src=receiver, nexthop=0, receiver=receiver,
+            source=0, group=group, seq=src.sessions[(0, group)].seq,
+        )
+        src._recv_join_reply(jr)
+    assert src.connected_by_group[1] == {2}
+    assert src.connected_by_group[2] == {1}
+    # the legacy aggregate view is the union (pinned by older tests)
+    assert src.connected_receivers == {1, 2}
+
+
+def test_per_flow_seq_numbers_are_independent(net3):
+    sim, net, agents = net3
+    src = agents[0]
+    src.request_route(1)
+    src.request_route(1)
+    src.request_route(2)
+    assert src.sessions[(0, 1)].seq == 1
+    assert src.sessions[(0, 2)].seq == 0

@@ -225,3 +225,54 @@ def test_deepcopy_fallback_when_unpicklable(monkeypatch):
     assert snap._blob is None and snap.size_bytes == 0
     warm = run_single(cfg, cache=False, warm_start=snap)
     assert warm == ref
+
+
+# --------------------------------------------------------------------- #
+# session axis of the prefix key
+# --------------------------------------------------------------------- #
+def test_prefix_key_sessions_component():
+    """Multi-session prefixes are their own snapshot scope; the
+    trivially-default plan shares the legacy one (flag-off contract)."""
+    from repro.traffic.spec import SessionSpec, TrafficPlan
+
+    cfg = SimulationConfig(protocol="mtmrp", topology="grid", group_size=10, seed=3)
+    # sessions=None and the default single-session plan sign identically
+    assert prefix_key(cfg.with_(sessions=TrafficPlan.single(cfg))) == prefix_key(cfg)
+    # a real plan installs extra memberships -> distinct prefix
+    plan = (
+        SessionSpec(source=0, group=1, group_size=4),
+        SessionSpec(source=9, group=2, group_size=4, start=0.5),
+    )
+    multi = cfg.with_(sessions=plan)
+    assert prefix_key(multi) != prefix_key(cfg)
+    # and two different plans never share a snapshot
+    other = cfg.with_(
+        sessions=(plan[0], SessionSpec(source=9, group=2, group_size=5, start=0.5))
+    )
+    assert prefix_key(other) != prefix_key(multi)
+    # plan identity, not object identity: an equal plan keys equal
+    assert prefix_key(cfg.with_(sessions=tuple(plan))) == prefix_key(multi)
+
+
+def test_multisession_fork_bit_identical():
+    """A forked multi-session run replays the cold trace bit for bit."""
+    from repro.traffic.spec import SessionSpec
+
+    cfg = SimulationConfig(
+        protocol="mtmrp", topology="grid", grid_nx=5, grid_ny=5,
+        side=100.0, seed=21, mac="ideal",
+        sessions=(
+            SessionSpec(source=0, group=1, group_size=4, n_packets=2),
+            SessionSpec(source=24, group=2, group_size=4, start=0.4, n_packets=2),
+        ),
+    )
+    reset_uids()
+    cold_tr = TraceRecorder()
+    cold = run_single(cfg, trace=cold_tr, cache=False)
+
+    reset_uids()
+    snap = WarmSnapshot.capture(cfg, trace=TraceRecorder())
+    warm_tr = TraceRecorder()
+    warm = run_single(cfg, trace=warm_tr, cache=False, warm_start=snap)
+    assert warm == cold
+    assert trace_digest(warm_tr) == trace_digest(cold_tr)

@@ -1,0 +1,146 @@
+"""Engine tests: membership draws, stream identity, phase scheduling."""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.traffic.engine import (
+    install_session_members,
+    schedule_sessions,
+    session_members,
+    sessions_horizon,
+)
+from repro.traffic.spec import SessionSpec
+
+
+def _net(sim, cfg):
+    from repro.experiments.config import make_positions
+    from repro.mac.ideal import IdealMac
+
+    return Network(
+        sim,
+        make_positions(cfg, sim.rng.stream("topology")),
+        comm_range=cfg.comm_range,
+        mac_factory=IdealMac,
+        perfect_channel=True,
+    )
+
+
+@pytest.fixture
+def cfg():
+    return SimulationConfig(mac="ideal")
+
+
+def test_draws_are_keyed_by_session_identity(cfg):
+    """A session draws the same receivers alone or inside a bigger plan."""
+    spec_a = SessionSpec(source=10, group=2, group_size=5)
+    spec_b = SessionSpec(source=50, group=3, group_size=5)
+
+    def draw(plan):
+        sim = Simulator(seed=3)
+        net = _net(sim, cfg)
+        return install_session_members(cfg, sim, net, plan)
+
+    together = draw((spec_a, spec_b))
+    alone = draw((spec_a,))
+    assert together[spec_a.flow] == alone[spec_a.flow]
+    # and plan order doesn't matter either
+    reversed_ = draw((spec_b, spec_a))
+    assert together[spec_a.flow] == reversed_[spec_a.flow]
+    assert together[spec_b.flow] == reversed_[spec_b.flow]
+
+
+def test_draw_excludes_the_source(cfg):
+    sim = Simulator(seed=3)
+    net = _net(sim, cfg)
+    spec = SessionSpec(source=42, group=2, group_size=10)
+    members = install_session_members(cfg, sim, net, (spec,))
+    assert 42 not in members[spec.flow]
+    assert len(members[spec.flow]) == 10
+
+
+def test_explicit_receivers_installed_verbatim(cfg):
+    sim = Simulator(seed=3)
+    net = _net(sim, cfg)
+    spec = SessionSpec(source=0, group=2, receivers=(5, 6, 7))
+    members = install_session_members(cfg, sim, net, (spec,))
+    assert members[spec.flow] == [5, 6, 7]
+    assert {n.node_id for n in net.nodes if n.is_member(2)} == {5, 6, 7}
+
+
+def test_legacy_receivers_reused_for_config_matching_spec(cfg):
+    sim = Simulator(seed=3)
+    net = _net(sim, cfg)
+    legacy = [1, 2, 3]
+    spec = SessionSpec(
+        source=cfg.source, group=cfg.group, group_size=cfg.group_size, n_packets=2
+    )
+    members = install_session_members(
+        cfg, sim, net, (spec,), legacy_receivers=legacy
+    )
+    assert members[spec.flow] == legacy
+
+
+def test_session_members_recovers_installed_sets(cfg):
+    sim = Simulator(seed=3)
+    net = _net(sim, cfg)
+    plan = (SessionSpec(source=0, group=2, group_size=4),)
+    installed = install_session_members(cfg, sim, net, plan)
+    recovered = session_members(net, plan)
+    assert sorted(recovered[(0, 2)]) == sorted(installed[(0, 2)])
+
+
+def test_sessions_horizon_covers_last_packet(cfg):
+    plan = (
+        SessionSpec(source=0, group=2, group_size=4, start=0.0, n_packets=1),
+        SessionSpec(
+            source=9, group=3, group_size=4, start=1.0, n_packets=3, rate_pps=2.0
+        ),
+    )
+    settle = cfg.effective_construction_time
+    # session 2: start 1.0 + settle + 2 inter-packet gaps of 0.5 s, + drain
+    assert sessions_horizon(cfg, plan) == pytest.approx(
+        1.0 + settle + 1.0 + cfg.data_time
+    )
+
+
+def test_schedule_sessions_drives_all_flows(cfg):
+    from repro.experiments.config import make_agent_factory
+
+    sim = Simulator(seed=3)
+    net = _net(sim, cfg)
+    plan = (
+        SessionSpec(source=0, group=1, group_size=4, n_packets=2),
+        SessionSpec(source=99, group=2, group_size=4, start=0.5),
+    )
+    members = install_session_members(cfg, sim, net, plan)
+    net.bootstrap_neighbor_tables()
+    agents = net.install(make_agent_factory(cfg))
+    net.start()
+    horizon = schedule_sessions(cfg, sim, net, agents, plan, members)
+    sim.run(until=horizon)
+    for spec in plan:
+        st = agents[spec.source].sessions.get(spec.flow)
+        assert st is not None, f"session {spec.flow} never started"
+        assert agents[spec.source].data_tx_by_session[spec.flow] >= spec.n_packets
+
+
+def test_schedule_sessions_gmr_uses_multicast(cfg):
+    """Stateless geographic sources are driven through ``multicast``."""
+    from repro.experiments.config import make_agent_factory
+
+    from repro.sim.trace import TraceKind, TraceRecorder
+
+    gmr_cfg = cfg.with_(protocol="gmr")
+    sim = Simulator(seed=3, trace=TraceRecorder())
+    net = _net(sim, gmr_cfg)
+    plan = (SessionSpec(source=0, group=1, group_size=4, n_packets=2),)
+    members = install_session_members(gmr_cfg, sim, net, plan)
+    net.bootstrap_neighbor_tables(with_positions=True)  # geographic routing
+    agents = net.install(make_agent_factory(gmr_cfg))
+    net.start()
+    horizon = schedule_sessions(gmr_cfg, sim, net, agents, plan, members)
+    sim.run(until=horizon)
+    assert sim.trace.count(TraceKind.TX, "GeoDataPacket") >= 2
+    assert sim.trace.nodes_with(TraceKind.DELIVER) & set(members[(0, 1)])

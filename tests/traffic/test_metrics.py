@@ -1,0 +1,159 @@
+"""Traffic metrics tests: fairness, per-session attribution, aggregation."""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.runner import run_single
+from repro.sim.trace import TraceKind, TraceRecorder
+from repro.traffic.metrics import (
+    SATURATION_THRESHOLD,
+    collect_traffic_metrics,
+    jain_fairness,
+    session_deliveries,
+)
+from repro.traffic.spec import SessionSpec
+
+
+class TestJainFairness:
+    def test_uniform_is_one(self):
+        assert jain_fairness([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_empty_and_all_zero_are_one(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_single_starver_approaches_reciprocal(self):
+        # one session takes everything: index == 1/n
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounded(self):
+        vals = [0.3, 0.9, 0.6, 1.0]
+        assert 1.0 / len(vals) <= jain_fairness(vals) <= 1.0
+
+
+class TestSessionDeliveries:
+    def test_matches_flow_prefix_only(self):
+        tr = TraceRecorder()
+        tr.emit(0.1, TraceKind.DELIVER, 5, "DataPacket", (0, 1, 0))
+        tr.emit(0.2, TraceKind.DELIVER, 5, "DataPacket", (0, 1, 1))
+        tr.emit(0.3, TraceKind.DELIVER, 6, "DataPacket", (0, 2, 0))  # other group
+        tr.emit(0.4, TraceKind.DELIVER, 7, "DataPacket", (3, 1, 0))  # other source
+        nodes, total = session_deliveries(tr, (0, 1))
+        assert nodes == {5}
+        assert total == 2
+
+    def test_ignores_non_flow_details(self):
+        tr = TraceRecorder()
+        tr.emit(0.1, TraceKind.DELIVER, 5, "FloodPacket", 123)
+        assert session_deliveries(tr, (0, 1)) == (set(), 0)
+
+
+class TestCollectFromLiveRun:
+    @pytest.fixture(scope="class")
+    def two_session(self):
+        cfg = SimulationConfig(
+            mac="ideal",
+            sessions=(
+                SessionSpec(source=0, group=1, group_size=6, n_packets=2),
+                SessionSpec(source=55, group=2, group_size=6, start=0.5, n_packets=2),
+            ),
+        )
+        return run_single(cfg, cache=False)
+
+    def test_per_session_slices(self, two_session):
+        tm = two_session.traffic
+        assert tm is not None
+        assert len(tm.sessions) == 2
+        flows = {s.flow for s in tm.sessions}
+        assert flows == {(0, 1), (55, 2)}
+        for s in tm.sessions:
+            assert s.n_receivers == 6
+            assert s.packets_sent == 2
+            assert 0.0 <= s.delivery_ratio <= 1.0
+            assert s.goodput > 0.0
+
+    def test_lossless_run_is_fair_and_unsaturated(self, two_session):
+        tm = two_session.traffic
+        assert tm.aggregate_delivery_ratio == pytest.approx(1.0)
+        assert tm.fairness == pytest.approx(1.0)
+        assert not tm.saturated
+        assert tm.aggregate_deliveries == 2 * 2 * 6
+
+    def test_forwarder_sharing_accounting(self, two_session):
+        tm = two_session.traffic
+        assert tm.forwarding_nodes >= tm.shared_forwarders >= 0
+        assert tm.forwarder_reuse == sum(
+            len(s.forwarders) for s in tm.sessions
+        ) - tm.forwarding_nodes
+        if tm.forwarding_nodes:
+            assert tm.shared_forwarder_ratio == pytest.approx(
+                tm.shared_forwarders / tm.forwarding_nodes
+            )
+
+    def test_aggregate_data_tx_counts_all_sessions(self, two_session):
+        tm = two_session.traffic
+        # two sources, two packets each, multi-hop trees: strictly more
+        # transmissions than the 4 originations
+        assert tm.aggregate_data_tx > 4
+
+    def test_runresult_mirrors_traffic_aggregates(self, two_session):
+        r = two_session
+        assert r.delivered == sum(s.delivered for s in r.traffic.sessions)
+        assert r.data_transmissions == r.traffic.aggregate_data_tx
+        assert r.delivery_ratio == pytest.approx(
+            r.traffic.aggregate_delivery_ratio
+        )
+
+
+def test_saturation_threshold_drives_flag():
+    """The saturated flag is exactly the ratio/threshold comparison."""
+    cfg = SimulationConfig(mac="ideal")
+    sim_cfg = cfg.with_(
+        sessions=(SessionSpec(source=0, group=1, group_size=6, n_packets=2),)
+    )
+    res = run_single(sim_cfg, cache=False)
+    tm = res.traffic
+    assert tm.saturated == (tm.aggregate_delivery_ratio < SATURATION_THRESHOLD)
+
+
+def test_collect_traffic_metrics_direct():
+    """Unit-level: metrics straight from a hand-built trace + agents."""
+
+    class FakeAgent:
+        def __init__(self, node_id, sessions=None, tx=None):
+            self.node_id = node_id
+            self.sessions = sessions or {}
+            self.data_tx_by_session = tx or {}
+
+    class FakeState:
+        is_forwarder = True
+
+    class FakeSim:
+        pass
+
+    class FakeNet:
+        def __init__(self, trace):
+            self.sim = FakeSim()
+            self.sim.trace = trace
+
+    tr = TraceRecorder()
+    for node in (3, 4):
+        tr.emit(0.1, TraceKind.DELIVER, node, "DataPacket", (0, 1, 0))
+    tr.emit(0.2, TraceKind.TX, 0, "DataPacket", 1)
+    tr.emit(0.3, TraceKind.TX, 2, "DataPacket", 2)
+    spec = SessionSpec(source=0, group=1, receivers=(3, 4))
+    agents = [
+        FakeAgent(0),
+        FakeAgent(2, sessions={(0, 1): FakeState()}),
+        FakeAgent(3),
+        FakeAgent(4),
+    ]
+    tm = collect_traffic_metrics(
+        FakeNet(tr), agents, (spec,), {(0, 1): [3, 4]}, horizon=1.0
+    )
+    s = tm.sessions[0]
+    assert s.delivered == 2 and s.deliveries == 2
+    assert s.delivery_ratio == pytest.approx(1.0)
+    assert s.forwarders == (2,)
+    assert tm.aggregate_data_tx == 2
+    assert tm.forwarding_nodes == 1 and tm.shared_forwarders == 0

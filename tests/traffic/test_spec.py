@@ -1,0 +1,155 @@
+"""Unit tests for the session/plan model (``repro.traffic.spec``)."""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.traffic.spec import SessionSpec, TrafficPlan, active_sessions, ramp_plan
+
+
+class TestSessionSpec:
+    def test_defaults_round_trip(self):
+        spec = SessionSpec()
+        assert SessionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_explicit_receivers_round_trip(self):
+        spec = SessionSpec(source=3, group=2, receivers=(7, 9, 11), n_packets=2)
+        again = SessionSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.receivers == (7, 9, 11)
+
+    def test_receivers_coerced_to_int_tuple(self):
+        spec = SessionSpec(receivers=[1.0, 2.0])
+        assert spec.receivers == (1, 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_packets": 0},
+            {"rate_pps": 0.0},
+            {"rate_pps": -1.0},
+            {"start": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SessionSpec(**kwargs)
+
+    def test_flow_key(self):
+        assert SessionSpec(source=5, group=3).flow == (5, 3)
+
+    def test_n_receivers_prefers_explicit_set(self):
+        assert SessionSpec(receivers=(1, 2, 3), group_size=20).n_receivers() == 3
+        assert SessionSpec(group_size=8).n_receivers() == 8
+        assert SessionSpec(group_size=8).n_receivers(default=4) == 4
+
+    def test_is_default_for_matches_config_flow(self):
+        cfg = SimulationConfig()
+        assert SessionSpec(
+            source=cfg.source, group=cfg.group, group_size=cfg.group_size
+        ).is_default_for(cfg)
+        assert not SessionSpec(group_size=cfg.group_size + 1).is_default_for(cfg)
+        assert not SessionSpec(
+            group_size=cfg.group_size, n_packets=2
+        ).is_default_for(cfg)
+        assert not SessionSpec(
+            group_size=cfg.group_size, start=0.5
+        ).is_default_for(cfg)
+
+
+class TestTrafficPlan:
+    def test_duplicate_flows_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficPlan(sessions=(SessionSpec(group=1), SessionSpec(group=1)))
+
+    def test_duplicate_groups_rejected_even_across_sources(self):
+        with pytest.raises(ValueError):
+            TrafficPlan(
+                sessions=(SessionSpec(source=0, group=1), SessionSpec(source=5, group=1))
+            )
+
+    def test_dict_payloads_coerced(self):
+        plan = TrafficPlan(sessions=({"source": 0, "group": 1}, {"source": 2, "group": 2}))
+        assert all(isinstance(s, SessionSpec) for s in plan)
+        assert len(plan) == 2
+
+    def test_single_is_default(self):
+        cfg = SimulationConfig()
+        assert TrafficPlan.single(cfg).is_default_single(cfg)
+
+    def test_key_is_hashable_identity(self):
+        plan = TrafficPlan(sessions=(SessionSpec(), SessionSpec(source=2, group=2)))
+        assert hash(plan.key()) == hash(plan.key())
+        other = TrafficPlan(sessions=(SessionSpec(n_packets=2),))
+        assert plan.key() != other.key()
+
+    def test_round_trip_via_dicts(self):
+        plan = TrafficPlan(
+            sessions=(SessionSpec(), SessionSpec(source=9, group=4, start=0.5))
+        )
+        assert TrafficPlan.from_dicts(plan.to_dicts()) == plan
+
+
+class TestActiveSessions:
+    def test_none_for_unconfigured(self):
+        assert active_sessions(SimulationConfig()) is None
+
+    def test_none_for_trivially_default_plan(self):
+        cfg = SimulationConfig()
+        assert active_sessions(cfg.with_(sessions=TrafficPlan.single(cfg))) is None
+
+    def test_active_for_real_plans(self):
+        cfg = SimulationConfig()
+        two = cfg.with_(
+            sessions=(
+                SessionSpec(group_size=cfg.group_size),
+                SessionSpec(source=5, group=2, group_size=4),
+            )
+        )
+        assert len(active_sessions(two)) == 2
+        # a single session that differs from the config is still active
+        one = cfg.with_(sessions=(SessionSpec(group_size=4),))
+        assert len(active_sessions(one)) == 1
+
+
+class TestConfigValidation:
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sessions=(SessionSpec(source=100),))
+
+    def test_out_of_range_receiver_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sessions=(SessionSpec(receivers=(0, 5)),))  # 0 == source
+
+    def test_oversized_group_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(sessions=(SessionSpec(group_size=100),))
+
+    def test_config_coerces_dict_sessions(self):
+        cfg = SimulationConfig(sessions=({"source": 0, "group": 1, "n_packets": 2},))
+        assert isinstance(cfg.sessions[0], SessionSpec)
+
+
+class TestRampPlan:
+    def test_sources_distinct_and_spread(self):
+        cfg = SimulationConfig()
+        plan = ramp_plan(cfg, 8)
+        sources = [s.source for s in plan]
+        assert len(set(sources)) == 8
+        assert sources[0] == cfg.source
+        assert max(sources) == cfg.n_nodes - 1
+
+    def test_single_session_ramp(self):
+        cfg = SimulationConfig()
+        plan = ramp_plan(cfg, 1)
+        assert len(plan) == 1
+        assert plan.sessions[0].source == cfg.source
+
+    def test_starts_staggered(self):
+        plan = ramp_plan(SimulationConfig(), 4, stagger=0.25)
+        assert [s.start for s in plan] == [0.0, 0.25, 0.5, 0.75]
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            ramp_plan(SimulationConfig(), 0)
+        with pytest.raises(ValueError):
+            ramp_plan(SimulationConfig(), 101)
