@@ -392,8 +392,13 @@ def _run_suffix(
             check.bind_network(net, agents, cfg.source, cfg.group, receivers)
     if obs is not None:
         if members is not None:
-            # sampler delivery_ratio tracks every session's receivers
-            obs.bind_network(net, sorted({m for ms in members.values() for m in ms}))
+            # sampler delivery_ratio tracks every session's receivers;
+            # per-flow columns split the same series by SessionSpec.key()
+            obs.bind_network(
+                net,
+                sorted({m for ms in members.values() for m in ms}),
+                sessions={spec: members[spec.flow] for spec in plan},
+            )
         else:
             obs.bind_network(net, receivers)
 

@@ -87,12 +87,22 @@ class Observer:
             self.sampler.attach(sim)
         return self
 
-    def bind_network(self, net, receivers: Sequence[int] = ()) -> None:
-        """Point the observer at the built deployment."""
+    def bind_network(
+        self, net, receivers: Sequence[int] = (), sessions=None
+    ) -> None:
+        """Point the observer at the built deployment.
+
+        ``sessions`` (optional) maps each :class:`SessionSpec` to its
+        installed receiver ids; when given, the sampler emits one
+        ``delivers_w.<key>``/``delivery_ratio.<key>`` column pair per
+        flow next to the aggregate columns.
+        """
         self._net = net
         self.registry.bind(net=net)
         if self.sampler is not None and receivers:
             self.sampler.bind_receivers(receivers)
+        if self.sampler is not None and sessions:
+            self.sampler.bind_sessions(sessions)
 
     def finish(self) -> "Observer":
         """Close a run: final sample, final counter refresh, close spans."""

@@ -30,9 +30,10 @@ Counter semantics (all monotone over a run):
 Gauges (point-in-time): ``energy_joules``, ``frames_lost``,
 ``frames_sent``, ``frames_collided``, ``pending_events``, ``forwarders``.
 
-Process-wide (not per-run): ``batch_runs`` / ``batch_fallback`` mirror
-``repro.sim.batch.STATS`` — how many Monte Carlo replicates went through
-the vectorized batch kernel versus fell back to the scalar path, plus a
+Process-wide (not per-run): ``batch_runs`` / ``batch_sessions`` /
+``batch_fallback`` mirror ``repro.sim.batch.STATS`` — how many Monte
+Carlo replicates (and (seed × session) flows) went through the
+vectorized batch kernel versus fell back to the scalar path, plus a
 ``batch_fallback.<reason>`` counter per fallback cause.
 """
 
@@ -116,6 +117,7 @@ class CounterRegistry:
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {name: 0 for name, _k, _p in _TRACE_COUNTERS}
         self.counters["batch_runs"] = 0
+        self.counters["batch_sessions"] = 0
         self.counters["batch_fallback"] = 0
         self.gauges: Dict[str, float] = {}
         self._trace: Optional[TraceRecorder] = None
@@ -181,6 +183,7 @@ class CounterRegistry:
         from repro.sim.batch import STATS as _batch_stats
 
         self.counters["batch_runs"] = _batch_stats.batched_runs
+        self.counters["batch_sessions"] = _batch_stats.batched_sessions
         self.counters["batch_fallback"] = _batch_stats.fallback_runs
         for reason, n in _batch_stats.fallback_reasons.items():
             self.counters[f"batch_fallback.{reason}"] = n

@@ -49,9 +49,18 @@ class Sample(NamedTuple):
     forwarders: int
     #: event-heap depth at sample time (live + not-yet-reconciled pops)
     pending: int
+    #: per-flow columns ``(key, delivers_w, delivery_ratio)`` — one triple
+    #: per bound :meth:`SessionSpec.key`; empty unless sessions are bound
+    sessions: tuple = ()
 
     def to_dict(self) -> dict:
-        return self._asdict()
+        d = self._asdict()
+        # flatten per-flow triples into flat JSONL columns so per-session
+        # time series are recoverable straight from the export
+        for key, delivers_w, ratio in d.pop("sessions"):
+            d[f"delivers_w.{key}"] = delivers_w
+            d[f"delivery_ratio.{key}"] = ratio
+        return d
 
 
 class StreamingSampler:
@@ -83,6 +92,13 @@ class StreamingSampler:
         self._delivered: set = set()
         self._last = {"tx": 0, "rx": 0, "delivers": 0, "collisions": 0, "route_errors": 0}
         self._started = False
+        # per-flow column state (bind_sessions)
+        self._flow_meta: List[tuple] = []  # (key, (source, group))
+        self._flow_members: dict = {}
+        self._flow_total: dict = {}
+        self._flow_nodes: dict = {}
+        self._flow_last: dict = {}
+        self._scan_pos = 0
 
     # ------------------------------------------------------------------ #
     # wiring
@@ -99,6 +115,31 @@ class StreamingSampler:
     def bind_receivers(self, receivers) -> None:
         """Tell the sampler the multicast group (delivery-ratio maths)."""
         self._receivers = frozenset(int(r) for r in receivers)
+
+    def bind_sessions(self, sessions) -> None:
+        """Register per-flow columns from ``{SessionSpec: receiver ids}``.
+
+        Each spec contributes two columns to every subsequent sample —
+        ``delivers_w.<key>`` (that flow's deliveries inside the window)
+        and ``delivery_ratio.<key>`` (distinct member receivers reached
+        so far over the member count) — keyed by
+        :meth:`~repro.traffic.spec.SessionSpec.key`.  Attribution walks
+        only the trace records appended since the previous window
+        (DELIVER details carry the ``(source, group, seq)`` flow key),
+        so the whole-run cost stays one pass over the stored records.
+        """
+        self._flow_meta = []
+        self._flow_members = {}
+        self._flow_total = {}
+        self._flow_nodes = {}
+        self._flow_last = {}
+        for spec, members in sessions.items():
+            fl = tuple(spec.flow)
+            self._flow_meta.append((spec.key(), fl))
+            self._flow_members[fl] = frozenset(int(m) for m in members)
+            self._flow_total[fl] = 0
+            self._flow_nodes[fl] = set()
+            self._flow_last[fl] = 0
 
     # ------------------------------------------------------------------ #
     # the per-window callback
@@ -138,6 +179,31 @@ class StreamingSampler:
             if not trace.counters_only
             else 0
         )
+        sess: tuple = ()
+        if self._flow_meta and not trace.counters_only:
+            recs = trace.records
+            for rec in recs[self._scan_pos:]:
+                d = rec.detail
+                if (
+                    rec.kind is TraceKind.DELIVER
+                    and isinstance(d, tuple)
+                    and len(d) == 3
+                ):
+                    fl = (d[0], d[1])
+                    tot = self._flow_total.get(fl)
+                    if tot is not None:
+                        self._flow_total[fl] = tot + 1
+                        if rec.node in self._flow_members[fl]:
+                            self._flow_nodes[fl].add(rec.node)
+            self._scan_pos = len(recs)
+            cols = []
+            for key, fl in self._flow_meta:
+                total = self._flow_total[fl]
+                members = self._flow_members[fl]
+                ratio = len(self._flow_nodes[fl]) / len(members) if members else 0.0
+                cols.append((key, total - self._flow_last[fl], ratio))
+                self._flow_last[fl] = total
+            sess = tuple(cols)
         s = Sample(
             time=float(sim.now),
             tx_w=totals["tx"] - self._last["tx"],
@@ -148,6 +214,7 @@ class StreamingSampler:
             delivery_ratio=ratio,
             forwarders=forwarders,
             pending=sim.heap_depth,
+            sessions=sess,
         )
         self._last = totals
         self.samples.append(s)

@@ -33,11 +33,21 @@ Bit-exactness contract (why this is safe, not just close):
   finish-time order; ambiguous same-instant folds fall back to scalar.
 * radio state (begin/end TX, capture bookkeeping) is unobservable under
   ``perfect_channel`` + IdealMac, and is therefore not reconstructed.
+* multi-session plans only touch the *prefix* through group-membership
+  installs (HELLO frames carry the member-group bits) and the
+  identity-keyed receiver draws — session scheduling itself lives in the
+  scalar suffix — so the reconstruction installs memberships exactly as
+  ``snapshot.build_prefix`` does and the closed form holds unchanged.
+* i.i.d. loss fates are pre-sampled as one block: the scalar channel
+  draws ``deg(sender)`` uniforms per fired frame at fire time, fire
+  order equals the global tick order, and ``Generator.random(n)``
+  consumes the identical doubles the per-frame chunks would — so one
+  block draw reproduces every fate *and* the stream end-state.
 
-Anything the closed form cannot express — lossy channels, CSMA, fading,
-geographic HELLOs (positions in beacons) — falls back to the scalar
-path, counted in :data:`STATS` and surfaced as the ``batch_fallback``
-obs counter.
+Anything the closed form cannot express — CSMA backoff, stateful
+(Gilbert–Elliott) loss, fading, geographic HELLOs (positions in
+beacons) — falls back to the scalar path, counted in :data:`STATS` and
+surfaced as the ``batch_fallback`` obs counter.
 """
 
 from __future__ import annotations
@@ -102,6 +112,9 @@ class BatchStats:
     """
 
     batched_runs: int = 0
+    #: (seed × session) flows served by the batch kernel — a legacy
+    #: single-flow run counts one; an 8-session plan counts eight per seed
+    batched_sessions: int = 0
     fallback_runs: int = 0
     fallback_reasons: _Counter = field(default_factory=_Counter)
 
@@ -111,6 +124,7 @@ class BatchStats:
 
     def reset(self) -> None:
         self.batched_runs = 0
+        self.batched_sessions = 0
         self.fallback_runs = 0
         self.fallback_reasons.clear()
 
@@ -125,24 +139,25 @@ STATS = BatchStats()
 def batch_eligible(cfg: "SimulationConfig") -> Optional[str]:
     """None if ``cfg`` can run on the batch kernel, else the fallback reason.
 
-    The analytic warmup requires a deterministic, lossless medium and the
-    draw-free Ideal MAC; everything else (CSMA backoff, per-frame loss
-    fates, fading, geographic position beacons, RX-record retention)
-    perturbs either the rng draw counts or the boundary state in ways the
-    closed form does not model.
+    The analytic warmup requires a deterministic medium with at most
+    memoryless (i.i.d.) erasures and the draw-free Ideal MAC; everything
+    else (CSMA backoff, stateful per-link loss chains, fading, geographic
+    position beacons) perturbs either the rng draw counts or the boundary
+    state in ways the closed form does not model.  Multi-session plans
+    ride the kernel: sessions only reach the warmup through group
+    memberships and identity-keyed receiver draws, both reproduced
+    exactly, while the schedule itself runs in the scalar suffix.
     """
-    if getattr(cfg, "sessions", None) is not None:
-        # the closed form models one JoinQuery round + one data packet;
-        # concurrent session schedules need the real event loop (even a
-        # trivially-default plan falls back — scalar is identical anyway)
-        return "multi-session"
     if not cfg.hello_phase:
         # the static bootstrap prefix is already nearly free — nothing to
         # amortise, and the scalar path is bit-identical by definition
         return "no-hello-phase"
     if cfg.mac != "ideal":
         return f"mac:{cfg.mac}"
-    if cfg.loss_model != "none":
+    if cfg.loss_model not in ("none", "iid"):
+        # Gilbert–Elliott burns two draws per frame through a per-link
+        # state chain — the fate of frame k depends on every prior frame
+        # on that link, which the block pre-sample cannot express
         return f"loss:{cfg.loss_model}"
     if cfg.shadowing_sigma_db > 0.0:
         return "shadowing"
@@ -233,6 +248,7 @@ def _reconstruct_prefix(cfg, registry, recorder, plan: _HelloPlan, s: int):
     from repro.mac.ideal import IdealMac
     from repro.net.network import Network
     from repro.sim.kernel import Simulator
+    from repro.traffic.spec import active_sessions
 
     sim = Simulator(seed=cfg.seed, trace=recorder)
     # adopt the pre-advanced per-seed streams (the ctor-built registry
@@ -254,7 +270,25 @@ def _reconstruct_prefix(cfg, registry, recorder, plan: _HelloPlan, s: int):
     candidates = candidates[candidates != cfg.source]
     receivers = recv_rng.choice(candidates, size=cfg.group_size, replace=False)
     receivers = [int(r) for r in receivers]
-    net.set_group_members(cfg.group, receivers)
+    # group memberships before the HELLO agents: beacon sizes (and the
+    # neighbor-table group sets) depend on them.  Mirrors the membership
+    # branch of ``snapshot.build_prefix`` exactly — same legacy draw
+    # first, same identity-keyed per-session draws after.
+    session_plan = active_sessions(cfg)
+    if session_plan is None:
+        net.set_group_members(cfg.group, receivers)
+    else:
+        from repro.traffic.engine import install_session_members
+
+        if any(
+            spec.receivers is None
+            and spec.source == cfg.source
+            and spec.group == cfg.group
+            and spec.group_size == cfg.group_size
+            for spec in session_plan
+        ):
+            net.set_group_members(cfg.group, receivers)
+        install_session_members(cfg, sim, net, session_plan, legacy_receivers=receivers)
 
     # install (but do not start) the HELLO agents: their start/tick draws
     # were consumed by the plan, their effects are reconstructed below
@@ -331,22 +365,44 @@ def _apply_warmup(cfg, sim, net, agents, plan: _HelloPlan, s: int) -> None:
     store_rx = not recorder.counters_only and (
         enabled is None or TraceKind.RX in enabled
     )
+    store_drop = not recorder.counters_only and (
+        enabled is None or TraceKind.DROP in enabled
+    )
     if n_tx:
         recorder.counts[(TraceKind.TX, "HelloPacket")] += n_tx
+
+    # ---- per-frame i.i.d. loss fates: one pre-sampled block ----------- #
+    # The scalar channel draws deg(sender) uniforms per fired frame at
+    # fire time (IidLoss.frame_lost_batch over the whole delivery list);
+    # fire order equals global tick order, so the warmup's draws are one
+    # contiguous block in fire-rank order, chunked per frame exactly as
+    # the scalar stream consumes them.  p <= 0 and p >= 1 short-circuit
+    # draw-free in the scalar model, so nothing is sampled here either.
+    neighbor_ids = ch._neighbor_ids
+    nbr_delays = ch._nbr_delays
+    deg_all = np.array([ids.size for ids in neighbor_ids], dtype=np.int64)
+    loss = ch.loss
+    p_loss = float(loss.p) if loss is not None else 0.0
+    has_draws = loss is not None and 0.0 < p_loss < 1.0
+    all_lost = loss is not None and p_loss >= 1.0
+    u_all = draw_start = None
+    if has_draws and n_tx:
+        deg_fire = deg_all[all_node[order[:n_tx]]]
+        draw_start = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(deg_fire))
+        )
+        u_all = loss.rng.random(int(draw_start[-1]))
 
     # ---- receptions: counts, neighbor tables, rx energy -------------- #
     # One flat "(sender, neighbor) column × fired frame" layout for every
     # reception, column-major per sender (all finishes at the sender's
     # first neighbor, then its second, …) — the same traversal the old
     # per-sender loop produced, with no python iteration.
-    neighbor_ids = ch._neighbor_ids
-    nbr_delays = ch._nbr_delays
-    deg_all = np.array([ids.size for ids in neighbor_ids], dtype=np.int64)
     act = np.flatnonzero((n_fired_per_node > 0) & (deg_all > 0))
     fin_keep = recv_keep = erx_keep = None
     tf_first = tf_last = tf_recv = tf_send = None
-    rx_arr = rx_fire = rx_uid = rx_cidx = None
-    n_rx = 0
+    rx_arr = rx_fire = rx_uid = rx_cidx = rx_lost = None
+    n_del = n_drop = 0
     if act.size:
         deg_a = deg_all[act]
         col_send = np.repeat(act, deg_a)
@@ -363,42 +419,132 @@ def _apply_warmup(cfg, sim, net, agents, plan: _HelloPlan, s: int) -> None:
         arr_flat = fire_flat + col_delay[pair_col]
         fin_flat = arr_flat + durations[send_of]
         # finishes increase down each column, so "within warmup" is a
-        # per-column prefix of length cnt[c]
+        # per-column prefix
         keep = fin_flat <= warmup
-        cnt = np.add.reduceat(keep.astype(np.int64), col_start)
-        n_rx = int(keep.sum())
-        if n_rx:
+        # delivery index of each element within its frame: the position
+        # in the sender's neighbor list, which is the loss-draw order
+        col_c = np.arange(col_len.size) - np.repeat(
+            np.cumsum(deg_a) - deg_a, deg_a
+        )
+        if has_draws:
+            # each element's frame has a global fire rank (= uid rank);
+            # its fate sits at that frame's draw offset + delivery index
+            rank_flat = uids[offsets[send_of] + r] - uid0
+            lost_flat = u_all[draw_start[rank_flat] + col_c[pair_col]] < p_loss
+            del_flat = keep & ~lost_flat
+        elif all_lost:
+            lost_flat = np.ones(total, dtype=bool)
+            del_flat = np.zeros(total, dtype=bool)
+        else:
+            lost_flat = None
+            del_flat = keep
+        n_fin = int(keep.sum())
+        n_del = int(del_flat.sum()) if lost_flat is not None else n_fin
+        n_drop = n_fin - n_del
+        if n_fin:
             e_rx_of = np.empty(n_nodes, dtype=np.float64)
             for b in np.unique(bits):
                 e_rx_of[bits == b] = e_rx[b]
             fin_keep = fin_flat[keep]
             recv_keep = col_nbr[pair_col][keep]
             erx_keep = e_rx_of[send_of[keep]]
-            sel = cnt > 0
-            tf_first = fin_flat[col_start[sel]]
-            tf_last = fin_flat[(col_start + cnt - 1)[sel]]
+            # Neighbor tables form from *delivered* receptions only.
+            # Scalar semantics: update_hello inserts/refreshes an entry on
+            # every delivery, and each receiver's own HELLO tick purges
+            # entries with now - last_seen > expiry.  An entry's dict
+            # position is therefore its *current epoch* insertion time —
+            # the first delivery after the most recent purge-removal —
+            # and it survives to the boundary only if the receiver's last
+            # executed tick did not purge it.  Lossless runs never purge
+            # (the eligibility gate bounds every refresh gap below the
+            # expiry), so the epoch walk is loss-only work.
+            flat_idx = np.arange(total)
+            last_i = np.maximum.reduceat(
+                np.where(del_flat, flat_idx, -1), col_start
+            )
+            if has_draws:
+                del_idx = np.flatnonzero(del_flat)
+                # previous delivered element within the same column
+                prev_acc = np.maximum.accumulate(
+                    np.where(del_flat, flat_idx, -1)
+                )
+                prev_sh = np.empty_like(prev_acc)
+                prev_sh[0] = -1
+                prev_sh[1:] = prev_acc[:-1]
+                prev_d = prev_sh[del_idx]
+                first_of_pair = prev_d < col_start[pair_col[del_idx]]
+                restart = first_of_pair.copy()
+                chk = np.flatnonzero(~first_of_pair)
+                if chk.size:
+                    # last receiver tick at or before each delivery (an
+                    # equal-time tick pops first: prio 0 beats prio 1)
+                    fins_c = fin_flat[del_idx[chk]]
+                    recv_c = col_nbr[pair_col[del_idx[chk]]]
+                    prev_fin = fin_flat[prev_d[chk]]
+                    t_tick = np.full(chk.size, -np.inf)
+                    r_ord = np.argsort(recv_c, kind="stable")
+                    bnd = np.flatnonzero(
+                        recv_c[r_ord][1:] != recv_c[r_ord][:-1]
+                    ) + 1
+                    for a, b in zip(
+                        np.concatenate(([0], bnd)),
+                        np.concatenate((bnd, [r_ord.size])),
+                    ):
+                        jj = int(recv_c[r_ord[a]])
+                        tj = ticks[jj, : int(n_exec[jj])]
+                        ix = np.searchsorted(
+                            tj, fins_c[r_ord[a:b]], side="right"
+                        ) - 1
+                        hit = ix >= 0
+                        t_tick[r_ord[a:b][hit]] = tj[ix[hit]]
+                    # the scalar purge test, same float expression
+                    restart[chk] |= (t_tick - prev_fin) > _HELLO_EXPIRY
+                restart_flat = np.zeros(total, dtype=bool)
+                restart_flat[del_idx] = restart
+                ins_i = np.maximum.reduceat(
+                    np.where(restart_flat, flat_idx, -1), col_start
+                )
+                # survival: the receiver's last executed tick must not
+                # have purged the entry after its final refresh
+                t_last_of = np.full(n_nodes, -np.inf)
+                has_tick = n_exec > 0
+                t_last_of[has_tick] = ticks[
+                    np.flatnonzero(has_tick), n_exec[has_tick] - 1
+                ]
+                f_max = fin_flat[np.maximum(last_i, 0)]
+                alive_col = ~((t_last_of[col_nbr] - f_max) > _HELLO_EXPIRY)
+                sel = (last_i >= 0) & alive_col
+            else:
+                ins_i = np.minimum.reduceat(
+                    np.where(del_flat, flat_idx, total), col_start
+                )
+                sel = last_i >= 0
+            tf_first = fin_flat[ins_i[sel]]
+            tf_last = fin_flat[last_i[sel]]
             tf_recv = col_nbr[sel]
             tf_send = col_send[sel]
-            if store_rx:
+            if store_rx or (store_drop and lost_flat is not None):
                 rx_arr = arr_flat[keep]
                 rx_fire = fire_flat[keep]
                 rx_uid = uids[offsets[send_of] + r][keep]
-                col_c = np.arange(col_len.size) - np.repeat(
-                    np.cumsum(deg_a) - deg_a, deg_a
-                )
                 rx_cidx = col_c[pair_col][keep]
-    if n_rx:
-        recorder.counts[(TraceKind.RX, "HelloPacket")] += n_rx
+                if lost_flat is not None:
+                    rx_lost = lost_flat[keep]
+    if n_del:
+        recorder.counts[(TraceKind.RX, "HelloPacket")] += n_del
+    if n_drop:
+        recorder.counts[(TraceKind.DROP, "HelloPacket")] += n_drop
     ch.frames_sent += n_tx
-    ch.frames_delivered += n_rx
+    ch.frames_delivered += n_del
+    ch.frames_lost += n_drop
 
     # ---- stored records (emission = heap pop order) ------------------- #
     # TX records are emitted during the prio-0 _fire events at fire time;
-    # RX records during the prio-1 _finish events at finish time.  The
-    # scalar pop order of equal-(time, prio) finishes follows _arrive
-    # execution order = (arrival, fire, delivery index); uid ties across
-    # *different* frames at one instant cannot be disambiguated.
-    if store_tx or store_rx:
+    # RX and DROP records during the prio-1 _finish events at finish
+    # time.  The scalar pop order of equal-(time, prio) finishes follows
+    # _arrive execution order = (arrival, fire, delivery index); uid ties
+    # across *different* frames at one instant cannot be disambiguated.
+    if store_tx or rx_arr is not None:
         tx_recs: List[TraceRecord] = []
         rx_recs: List[TraceRecord] = []
         if store_tx and n_tx:
@@ -411,7 +557,7 @@ def _apply_warmup(cfg, sim, net, agents, plan: _HelloPlan, s: int) -> None:
                 _repeat("HelloPacket"),
                 uids[order][mask_sorted].tolist(),
             )))
-        if store_rx and fin_keep is not None:
+        if rx_arr is not None:
             rx_ord = np.lexsort((rx_cidx, rx_fire, rx_arr, fin_keep))
             rfin = fin_keep[rx_ord]
             rarr = rx_arr[rx_ord]
@@ -424,13 +570,27 @@ def _apply_warmup(cfg, sim, net, agents, plan: _HelloPlan, s: int) -> None:
             )
             if np.any(tie):
                 raise _Inexpressible("rx-order-tie")
-            rx_recs = list(map(TraceRecord._make, zip(
-                rfin.tolist(),
-                _repeat(TraceKind.RX),
-                rrecv.tolist(),
-                _repeat("HelloPacket"),
-                ruid.tolist(),
-            )))
+            if rx_lost is None:
+                rx_recs = list(map(TraceRecord._make, zip(
+                    rfin.tolist(),
+                    _repeat(TraceKind.RX),
+                    rrecv.tolist(),
+                    _repeat("HelloPacket"),
+                    ruid.tolist(),
+                )))
+            else:
+                # mixed finish stream: a lost frame emits DROP (detail
+                # "loss"), a delivered one RX — same pop order either way
+                ap = rx_recs.append
+                for t, j, u, lo in zip(
+                    rfin.tolist(), rrecv.tolist(), ruid.tolist(),
+                    rx_lost[rx_ord].tolist(),
+                ):
+                    if lo:
+                        if store_drop:
+                            ap(TraceRecord(t, TraceKind.DROP, j, "HelloPacket", "loss"))
+                    elif store_rx:
+                        ap(TraceRecord(t, TraceKind.RX, j, "HelloPacket", u))
         if not rx_recs:
             recorder.records.extend(tx_recs)
         elif not tx_recs:
@@ -573,24 +733,36 @@ def _apply_warmup(cfg, sim, net, agents, plan: _HelloPlan, s: int) -> None:
                     pkt = HelloPacket(src=i, uid=uid, groups=frozenset(node_obj.groups))
                 delays_i = nbr_delays[i]
                 powers_i = nbr_powers[i]
+                if has_draws:
+                    # the frame fired pre-boundary, so its fates are in
+                    # the pre-sampled block at its fire rank's offset
+                    base = int(draw_start[int(uids[offsets[i] + nf - 1]) - uid0])
                 for c in range(nbr.size):
                     arr = f + float(delays_i[c])
                     fin = arr + dur
                     if fin <= warmup:
                         continue
+                    if has_draws:
+                        lost_c = bool(u_all[base + c] < p_loss)
+                    else:
+                        lost_c = all_lost
                     j = int(nbr[c])
                     radio_j = radios[j]
                     node_j = net.nodes[j]
                     if arr > warmup:
                         events.append(
                             (arr, 0, f, c, i, ch._arrive,
-                             (radio_j, node_j, j, pkt, float(powers_i[c]), dur, False))
+                             (radio_j, node_j, j, pkt, float(powers_i[c]), dur, lost_c))
                         )
                     else:
                         rec = radio_j.begin_reception(pkt, arr, dur, float(powers_i[c]))
+                        if lost_c:
+                            # a garbled in-flight signal still occupies
+                            # the radio but can never decode (_arrive)
+                            rec.intact = False
                         events.append(
                             (fin, 1, arr, c, i, ch._finish,
-                             (radio_j, node_j, j, rec, False))
+                             (radio_j, node_j, j, rec, lost_c))
                         )
 
     events.sort(key=lambda e: e[:5])
@@ -624,6 +796,7 @@ def run_batch(
     """
     from repro.experiments.runner import _run_suffix, run_single
     from repro.sim.snapshot import _trace_signature, absorb_trace
+    from repro.traffic.spec import active_sessions
 
     if not cfgs:
         return []
@@ -649,6 +822,8 @@ def run_batch(
             for cfg in cfgs
         ]
     enabled, counters_only = _trace_signature(trace, cfgs[0])
+    session_plan = active_sessions(cfgs[0])
+    n_flows = len(session_plan) if session_plan is not None else 1
 
     # Each seed allocates (and drops) a ~n_nodes-object cyclic deployment
     # graph; with the collector enabled, generational sweeps over the
@@ -670,6 +845,7 @@ def run_batch(
                 net.channel.direct_finish = True
                 res = _run_suffix(cfg, sim, net, receivers, positions, keep_positions)
                 STATS.batched_runs += 1
+                STATS.batched_sessions += n_flows
             except _Inexpressible as exc:
                 reset_uids(uid_start)
                 STATS.record_fallback(exc.reason)

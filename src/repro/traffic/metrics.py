@@ -33,7 +33,9 @@ __all__ = [
     "TrafficMetrics",
     "jain_fairness",
     "session_deliveries",
+    "flow_delivery_columns",
     "session_forwarders",
+    "flow_forwarder_columns",
     "session_transmitters",
     "collect_traffic_metrics",
     "SATURATION_THRESHOLD",
@@ -111,36 +113,62 @@ def jain_fairness(values: Sequence[float]) -> float:
     return (total * total) / (len(vals) * squares)
 
 
+def flow_delivery_columns(
+    trace: TraceRecorder, flows: Sequence[Tuple[int, int]]
+) -> Dict[Tuple[int, int], Tuple[Set[int], int]]:
+    """``{flow: (receivers that delivered, total deliveries)}``, one pass.
+
+    DELIVER details are flow keys ``(source, group, seq)``; matching on
+    the (source, group) prefix collects every packet of each stream.
+    The per-flow :func:`session_deliveries` scan is O(records) *per
+    flow*; multi-session plans (and the batch kernel's campaigns) call
+    this columnar form instead — O(records) once for the whole plan.
+    """
+    out: Dict[Tuple[int, int], Tuple[Set[int], int]] = {
+        (int(s), int(g)): (set(), 0) for s, g in flows
+    }
+    for rec in trace.filter(TraceKind.DELIVER):
+        d = rec.detail
+        if isinstance(d, tuple) and len(d) == 3:
+            cell = out.get((d[0], d[1]))
+            if cell is not None:
+                nodes, total = cell
+                nodes.add(rec.node)
+                out[(d[0], d[1])] = (nodes, total + 1)
+    return out
+
+
 def session_deliveries(
     trace: TraceRecorder, flow: Tuple[int, int]
 ) -> Tuple[Set[int], int]:
-    """(receivers that delivered, total deliveries) for one flow.
+    """(receivers that delivered, total deliveries) for one flow."""
+    return flow_delivery_columns(trace, [flow])[tuple(int(x) for x in flow)]
 
-    DELIVER details are flow keys ``(source, group, seq)``; matching on
-    the (source, group) prefix collects every packet of the stream.
+
+def flow_forwarder_columns(
+    agents: Sequence, flows: Sequence[Tuple[int, int]]
+) -> Dict[Tuple[int, int], Set[int]]:
+    """``{flow: forwarder node set}`` in one pass over the agents.
+
+    Each agent's session table is consulted once for every flow of the
+    plan, instead of re-walking all agents per flow.
     """
-    source, group = flow
-    nodes: Set[int] = set()
-    total = 0
-    for rec in trace.filter(TraceKind.DELIVER):
-        d = rec.detail
-        if isinstance(d, tuple) and len(d) == 3 and d[0] == source and d[1] == group:
-            nodes.add(rec.node)
-            total += 1
-    return nodes, total
-
-
-def session_forwarders(agents: Sequence, flow: Tuple[int, int]) -> Set[int]:
-    """Nodes holding forwarder state for ``flow`` (from agent session tables)."""
-    out: Set[int] = set()
+    keys = [tuple(int(x) for x in f) for f in flows]
+    out: Dict[Tuple[int, int], Set[int]] = {k: set() for k in keys}
     for a in agents:
         sessions = getattr(a, "sessions", None)
         if not sessions:
             continue
-        st = sessions.get(flow)
-        if st is not None and st.is_forwarder:
-            out.add(a.node_id)
+        for k in keys:
+            st = sessions.get(k)
+            if st is not None and st.is_forwarder:
+                out[k].add(a.node_id)
     return out
+
+
+def session_forwarders(agents: Sequence, flow: Tuple[int, int]) -> Set[int]:
+    """Nodes holding forwarder state for ``flow`` (from agent session tables)."""
+    return flow_forwarder_columns(agents, [flow])[tuple(int(x) for x in flow)]
 
 
 def session_transmitters(agents: Sequence, flow: Tuple[int, int]) -> Set[int]:
@@ -174,12 +202,17 @@ def collect_traffic_metrics(
     trace = net.sim.trace
     per: List[SessionMetrics] = []
     forwarder_count: Dict[int, int] = {}
+    # columnar passes: deliveries and forwarder sets for every flow of
+    # the plan are gathered in one trace scan / one agent walk
+    flows = [spec.flow for spec in plan]
+    delivery_cols = flow_delivery_columns(trace, flows)
+    forwarder_cols = flow_forwarder_columns(agents, flows)
     for spec in plan:
         flow = spec.flow
         recv = set(members[flow])
-        nodes, total = session_deliveries(trace, flow)
+        nodes, total = delivery_cols[flow]
         delivered_nodes = nodes & recv
-        fwd = session_forwarders(agents, flow) - {spec.source}
+        fwd = forwarder_cols[flow] - {spec.source}
         for node in fwd:
             forwarder_count[node] = forwarder_count.get(node, 0) + 1
         expected = spec.n_packets * len(recv)

@@ -64,6 +64,16 @@ class SessionSpec:
         """The ``(source, group)`` key agents track this session under."""
         return (self.source, self.group)
 
+    def key(self) -> str:
+        """Stable per-flow column label, ``s<source>.g<group>``.
+
+        The obs sampler names its per-session time-series columns with
+        this (``delivers_w.s3.g2`` in JSONL exports), so a flow keeps
+        the same column whether it runs alone or inside a larger plan —
+        the same identity contract as the receiver-draw rng streams.
+        """
+        return f"s{self.source}.g{self.group}"
+
     def n_receivers(self, default: Optional[int] = None) -> int:
         return len(self.receivers) if self.receivers is not None else (
             default if default is not None else self.group_size

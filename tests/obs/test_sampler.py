@@ -93,7 +93,8 @@ def test_series_and_jsonl():
     assert sampler.series("time") == [0.5, 1.0]
     rows = [json.loads(line) for line in sampler.to_jsonl().splitlines()]
     assert rows[0]["time"] == 0.5
-    assert set(rows[0]) == set(Sample._fields)
+    # "sessions" is flattened into per-flow columns (none bound here)
+    assert set(rows[0]) == set(Sample._fields) - {"sessions"}
 
 
 def test_sampler_emits_no_trace_records():
@@ -137,3 +138,14 @@ def test_sampler_tracks_union_of_session_receivers():
     final = obs.sampler.samples[-1]
     assert final.delivery_ratio == 1.0
     assert sum(s.delivers_w for s in obs.sampler.samples) == 16
+    # per-session columns: keyed by SessionSpec.key(), flattened in JSONL
+    assert [k for k, _, _ in final.sessions] == ["s0.g1", "s24.g2"]
+    assert all(ratio == 1.0 for _, _, ratio in final.sessions)
+    for key in ("s0.g1", "s24.g2"):
+        total = sum(dw for s in obs.sampler.samples
+                    for kk, dw, _ in s.sessions if kk == key)
+        assert total == 8
+    row = json.loads(obs.sampler.to_jsonl().splitlines()[-1])
+    assert row["delivers_w.s0.g1"] == final.sessions[0][1]
+    assert row["delivery_ratio.s24.g2"] == 1.0
+    assert "sessions" not in row
