@@ -246,6 +246,12 @@ def _run_traffic(args) -> None:
     run_traffic(args)
 
 
+def _run_serve(args) -> None:
+    from repro.experiments.serve import run_serve
+
+    run_serve(args)
+
+
 COMMANDS = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -262,11 +268,12 @@ COMMANDS = {
     "obs": _run_obs,
     "chaos": _run_chaos,
     "traffic": _run_traffic,
+    "serve": _run_serve,
 }
 
 #: Utility commands excluded from ``all`` (they measure the machine, not
 #: the paper).
-_NON_FIGURE = {"bench", "scaling", "check", "obs", "chaos", "traffic"}
+_NON_FIGURE = {"bench", "scaling", "check", "obs", "chaos", "traffic", "serve"}
 
 
 def main(argv=None) -> int:
@@ -332,6 +339,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--traffic-sessions", type=int, default=8,
         help="traffic: maximum concurrent session count in the ramp",
+    )
+    parser.add_argument(
+        "--serve-port", type=int, default=7077,
+        help="serve: TCP port for the campaign service (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--serve-unix", default=None, metavar="SOCKET_PATH",
+        help="serve: listen on a unix-domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--serve-store", default="results/service-store",
+        help="serve: directory for the content-addressed result store",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="serve: CI smoke campaign — --runs mixed specs over the wire "
+             "with one injected worker kill; exits non-zero on digest "
+             "drift or lost specs",
     )
     parser.add_argument(
         "--traffic-campaign", action="store_true",

@@ -365,6 +365,56 @@ def run_benchmarks(fast: bool = False) -> Dict[str, Dict[str, float]]:
         raise AssertionError("shared-pool sweep diverged from per-point pools")
     record("pool_reuse_sweep", t_shared, n_runs, baseline_wall_s=t_fresh)
 
+    # -- campaign service: warm-cache saturation vs cold execution ------ #
+    # The service-tier headline: once a campaign's replicates are in the
+    # content-addressed result store, re-submitting the spec costs a hash
+    # chain plus a store read instead of a simulation.  Cold pass executes
+    # n distinct campaigns through the full submit path; warm pass replays
+    # the identical specs against the populated store.  The recorded
+    # speedup is the dedupe win the service exists to provide.
+    import asyncio
+    import tempfile
+
+    from repro.service import CampaignScheduler, CampaignService, ResultStore
+
+    # workload size is fixed (not fast-dependent) so wall times stay
+    # comparable between CI smoke runs and the committed baseline
+    n_req = 25
+    svc_payloads = [
+        {
+            "config": {"protocol": "mtmrp", "topology": "grid",
+                       "group_size": 10, "mac": "ideal"},
+            "replicates": 2,
+            "batch_seed": 5000 + i,
+        }
+        for i in range(n_req)
+    ]
+
+    async def _saturation():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+            service = CampaignService(
+                store=ResultStore(tmp), scheduler=CampaignScheduler()
+            )
+            t0 = time.perf_counter()
+            cold = [await service.run_to_completion(p) for p in svc_payloads]
+            t_cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = [await service.run_to_completion(p) for p in svc_payloads]
+            t_warm = time.perf_counter() - t0
+            await service.close()
+            return t_cold, t_warm, cold, warm
+
+    t_cold, t_warm, cold, warm = asyncio.run(_saturation())
+    if [d["results"] for d in cold] != [d["results"] for d in warm]:
+        # pragma: no cover - cache correctness violation
+        raise AssertionError("warm-cache replay diverged from cold execution")
+    if t_cold / t_warm < 10.0:  # pragma: no cover - acceptance floor
+        raise AssertionError(
+            f"service warm cache only {t_cold / t_warm:.1f}x over cold "
+            f"(acceptance floor is 10x)"
+        )
+    record("service_saturation", t_warm, n_req, baseline_wall_s=t_cold)
+
     # -- dense-path delivery fan-out at 2000 nodes ---------------------- #
     # Shadow fading forces the dense (n, n) geometry; the workload is one
     # full round of per-sender delivery-list builds plus the batched loss

@@ -70,6 +70,8 @@ __all__ = [
     "config_hash",
     "shared_pool",
     "shutdown_pool",
+    "pool_generation",
+    "pool_worker_pids",
     "CACHE_VERSION",
 ]
 
@@ -667,6 +669,7 @@ def _run_error(cfg: SimulationConfig, index: int, cause: str,
 # --------------------------------------------------------------------- #
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_WORKERS = 0
+_POOL_GEN = 0
 
 
 def _warm_imports() -> None:
@@ -690,22 +693,56 @@ def shared_pool(workers: int) -> ProcessPoolExecutor:
     workers and is otherwise left alone; ``shutdown_pool()`` exists for
     tests and long-lived embedders.
     """
-    global _POOL, _POOL_WORKERS
+    global _POOL, _POOL_WORKERS, _POOL_GEN
     if _POOL is None or _POOL_WORKERS < workers:
         if _POOL is not None:
             _POOL.shutdown(wait=False, cancel_futures=True)
         _POOL = ProcessPoolExecutor(max_workers=workers, initializer=_warm_imports)
         _POOL_WORKERS = workers
+        _POOL_GEN += 1
     return _POOL
 
 
 def shutdown_pool() -> None:
-    """Tear down the shared executor (no-op when none exists)."""
-    global _POOL, _POOL_WORKERS
+    """Tear down the shared executor (no-op when none exists).
+
+    Also the recovery path after a worker death: a killed worker leaves
+    the executor broken (every pending future raises
+    ``BrokenProcessPool``), and dropping it here lets the next
+    :func:`shared_pool` call build a fresh one — which is how the
+    campaign service's scheduler restarts after fault injection.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_GEN
     if _POOL is not None:
         _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = None
         _POOL_WORKERS = 0
+        _POOL_GEN += 1
+
+
+def pool_generation() -> int:
+    """Monotone counter bumped on every pool rebuild *and* teardown.
+
+    Lets concurrent recoveries coordinate without a shared lock over the
+    whole executor: a scheduler that caught ``BrokenProcessPool`` only
+    tears the pool down if the generation still matches the one its runs
+    started on — otherwise another thread already rebuilt it and tearing
+    it down again would break *that* thread's healthy retry.
+    """
+    return _POOL_GEN
+
+
+def pool_worker_pids() -> Tuple[int, ...]:
+    """PIDs of the shared pool's live worker processes (empty: no pool).
+
+    Operational surface for the service tier: health probes and the
+    worker-kill fault-injection tests (kill a pid, then prove the
+    scheduler re-queues and recovers) both need worker identity without
+    reaching into executor internals.
+    """
+    if _POOL is None or _POOL._processes is None:
+        return ()
+    return tuple(_POOL._processes.keys())
 
 
 def _run_chunk(chunk: List[Tuple[int, SimulationConfig, bool, Optional[float]]]) -> list:
@@ -850,6 +887,16 @@ def run_many(
     :class:`RunError` naming the config/seed/index; ``"collect"`` keeps
     going and leaves the :class:`RunError` in the failed run's result
     slot (callers filter with ``isinstance``).
+
+    **Ordering contract** (pinned by ``tests/experiments/test_runner.py::
+    TestCollectOrderingContract``; the campaign service's scheduler
+    re-queues failed slots by index and depends on every clause): the
+    returned list always has exactly ``len(configs)`` slots in input
+    order, on every execution path (serial, pool, batched) and under any
+    mix of failures and successes; in collect mode a failed run's slot
+    holds a :class:`RunError` whose ``index`` equals its position; and
+    ``on_result(index, result)`` reports the same index the result lands
+    in, regardless of completion order.
 
     ``warm=True`` forks run prefixes from per-process snapshot caches
     where profitable (HELLO-phase / dense-channel configs — see

@@ -34,7 +34,12 @@ Process-wide (not per-run): ``batch_runs`` / ``batch_sessions`` /
 ``batch_fallback`` mirror ``repro.sim.batch.STATS`` — how many Monte
 Carlo replicates (and (seed × session) flows) went through the
 vectorized batch kernel versus fell back to the scalar path, plus a
-``batch_fallback.<reason>`` counter per fallback cause.
+``batch_fallback.<reason>`` counter per fallback cause.  Likewise the
+``service_*`` family mirrors ``repro.service.stats.STATS`` — campaign
+requests, result-store cache hits, in-flight coalesces, replicates
+re-queued after failures and worker-pool restarts — so an observed run
+inside the campaign service exports the service's health counters
+through the same Prometheus/JSONL pipeline as the protocol counters.
 """
 
 from __future__ import annotations
@@ -119,6 +124,10 @@ class CounterRegistry:
         self.counters["batch_runs"] = 0
         self.counters["batch_sessions"] = 0
         self.counters["batch_fallback"] = 0
+        from repro.service.stats import STATS as _svc_stats
+
+        for name in _svc_stats.snapshot():
+            self.counters[f"service_{name}"] = 0
         self.gauges: Dict[str, float] = {}
         self._trace: Optional[TraceRecorder] = None
         self._net = None
@@ -187,6 +196,13 @@ class CounterRegistry:
         self.counters["batch_fallback"] = _batch_stats.fallback_runs
         for reason, n in _batch_stats.fallback_reasons.items():
             self.counters[f"batch_fallback.{reason}"] = n
+        # campaign-service health (process-wide, see repro.service.stats):
+        # request/dedupe/recovery counters exported alongside the run's
+        # protocol counters when a run executes inside the service tier
+        from repro.service.stats import STATS as _svc_stats
+
+        for name, n in _svc_stats.snapshot().items():
+            self.counters[f"service_{name}"] = n
         return self
 
     # ------------------------------------------------------------------ #

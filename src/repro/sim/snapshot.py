@@ -505,9 +505,23 @@ class SnapshotCache:
         self._entries: "OrderedDict[tuple, WarmSnapshot]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> dict:
+        """Occupancy and traffic counters (the campaign service surfaces
+        these next to the result-store stats: the snapshot cache is the
+        warm-prefix artifact store every shard shares per process)."""
+        return {
+            "entries": len(self._entries),
+            "bytes": sum(s.size_bytes for s in self._entries.values()),
+            "forks": sum(s.n_forks for s in self._entries.values()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def get_or_capture(
         self,
@@ -526,6 +540,7 @@ class SnapshotCache:
         self._entries[key] = snap
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
         return snap
 
     def clear(self) -> None:

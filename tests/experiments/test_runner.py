@@ -331,3 +331,71 @@ class TestOnSample:
         steps = [b - a for a, b in zip(rows, rows[1:-1])]
         assert all(step == pytest.approx(0.5) for step in steps)
         assert rows[-1] >= rows[-2]
+
+
+class TestCollectOrderingContract:
+    """Pin run_many's index-keyed ordering contract (see its docstring).
+
+    The campaign service's checkpoint/re-queue recovery is only sound if
+    every execution path returns exactly ``len(configs)`` slots in input
+    order, leaves collect-mode RunErrors in-place with ``.index`` equal
+    to their position, and reports run identity (not completion order)
+    through ``on_result``.  Exercised with failures scattered through the
+    campaign on all three paths: serial, the worker pool with
+    single-config chunks, and the vectorized batch kernel.
+    """
+
+    def _mixed(self):
+        cfgs = monte_carlo(SimulationConfig(protocol="mtmrp", **FAST), 6, 7)
+        bad_at = (1, 4)
+        for i in bad_at:
+            cfgs[i] = _poison(cfgs[i])
+        return cfgs, bad_at
+
+    def _check(self, cfgs, bad_at, results, seen):
+        assert len(results) == len(cfgs)
+        for i, res in enumerate(results):
+            if i in bad_at:
+                assert isinstance(res, RunError) and res.index == i
+                assert res.config_hash == config_hash(cfgs[i])
+            else:
+                assert isinstance(res, RunResult)
+                assert res.seed == cfgs[i].seed
+        # on_result reported every slot exactly once, keyed by identity
+        assert sorted(seen) == list(range(len(cfgs)))
+        assert all(seen[i] is results[i] for i in seen)
+
+    def test_serial_path(self):
+        cfgs, bad_at = self._mixed()
+        seen = {}
+        results = run_many(
+            cfgs, on_error="collect", on_result=lambda i, r: seen.setdefault(i, r)
+        )
+        self._check(cfgs, bad_at, results, seen)
+
+    def test_pool_path_single_config_chunks(self):
+        cfgs, bad_at = self._mixed()
+        seen = {}
+        results = run_many(
+            cfgs, workers=2, chunk_size=1, on_error="collect",
+            on_result=lambda i, r: seen.setdefault(i, r),
+        )
+        self._check(cfgs, bad_at, results, seen)
+
+    def test_batch_kernel_path(self):
+        cfgs, bad_at = self._mixed()
+        seen = {}
+        results = run_many(
+            cfgs, batch=8, on_error="collect",
+            on_result=lambda i, r: seen.setdefault(i, r),
+        )
+        self._check(cfgs, bad_at, results, seen)
+
+    def test_paths_agree_on_successes(self):
+        cfgs, bad_at = self._mixed()
+        serial = run_many(cfgs, on_error="collect")
+        pool = run_many(cfgs, workers=2, chunk_size=1, on_error="collect")
+        batch = run_many(cfgs, batch=8, on_error="collect")
+        for i in range(len(cfgs)):
+            if i not in bad_at:
+                assert serial[i] == pool[i] == batch[i]

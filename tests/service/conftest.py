@@ -1,0 +1,14 @@
+"""Shared fixtures for the campaign-service suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import STATS
+
+
+@pytest.fixture(autouse=True)
+def _reset_service_stats():
+    """Service counters are process-global; start every test from zero."""
+    STATS.reset()
+    yield
